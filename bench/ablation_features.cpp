@@ -1,0 +1,140 @@
+// Ablation bench (extra, not a paper table): what each DTaint design
+// choice buys. Toggles pointer-alias recognition (Algorithm 1) and
+// structure-layout similarity (§III-D) and measures recall over the
+// pattern plants that exercise them; compares bottom-up linking time
+// against the top-down baseline for the interprocedural choice.
+#include <cstdio>
+
+#include "src/baseline/naive_reachability.h"
+#include "src/baseline/worklist_ddg.h"
+#include "src/binary/loader.h"
+#include "src/core/dtaint.h"
+#include "src/report/scoring.h"
+#include "src/report/table.h"
+#include "src/synth/firmware_synth.h"
+#include "src/util/strings.h"
+
+using namespace dtaint;
+
+namespace {
+
+/// A binary stacked with the feature-dependent patterns.
+Result<SynthOutput> FeatureProgram() {
+  ProgramSpec spec;
+  spec.name = "ablation";
+  spec.arch = Arch::kDtArm;
+  spec.seed = 77;
+  spec.filler_functions = 120;
+  auto plant = [](const char* id, VulnPattern pattern, const char* source,
+                  const char* sink) {
+    PlantSpec p;
+    p.id = id;
+    p.pattern = pattern;
+    p.source = source;
+    p.sink = sink;
+    return p;
+  };
+  spec.plants = {
+      plant("direct1", VulnPattern::kDirect, "getenv", "system"),
+      plant("direct2", VulnPattern::kDirect, "recv", "memcpy"),
+      plant("wrapper1", VulnPattern::kWrapper, "recv", "strcpy"),
+      plant("wrapper2", VulnPattern::kWrapper, "getenv", "system"),
+      plant("alias1", VulnPattern::kAliasChain, "recv", "strcpy"),
+      plant("alias2", VulnPattern::kAliasChain, "recv", "memcpy"),
+      plant("dispatch1", VulnPattern::kDispatch, "recv", "memcpy"),
+      plant("loop1", VulnPattern::kLoopCopy, "recv", "loop"),
+  };
+  return SynthesizeBinary(spec);
+}
+
+struct Row {
+  const char* label;
+  bool alias;
+  bool structsim;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: DTaint feature toggles ===\n\n");
+  auto out = FeatureProgram();
+  if (!out.ok()) {
+    std::printf("synth failed: %s\n", out.status().ToString().c_str());
+    return 1;
+  }
+
+  const Row rows[] = {
+      {"full DTaint", true, true},
+      {"no pointer aliasing (Alg. 1 off)", false, true},
+      {"no structure similarity (S III-D off)", true, false},
+      {"neither", false, false},
+  };
+
+  TextTable table({"Configuration", "TP", "FN", "Recall", "Paths",
+                   "SSA (s)", "DDG (s)"});
+  for (const Row& row : rows) {
+    DTaintConfig config;
+    config.enable_alias = row.alias;
+    config.enable_structsim = row.structsim;
+    DTaint detector(config);
+    auto report = detector.Analyze(out->binary);
+    if (!report.ok()) return 1;
+    DetectionScore score =
+        ScoreFindings(report->findings, out->ground_truth);
+    table.AddRow({row.label, std::to_string(score.true_positives),
+                  std::to_string(score.false_negatives),
+                  FmtDouble(score.Recall(), 2),
+                  std::to_string(report->vulnerable_paths),
+                  FmtDouble(report->ssa_seconds, 2),
+                  FmtDouble(report->ddg_seconds, 3)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  // Bottom-up vs top-down interprocedural traversal.
+  CfgBuilder builder(out->binary);
+  Program program = std::move(*builder.BuildProgram());
+  BaselineStats baseline = RunWorklistDdg(program, {"main"});
+  std::printf("interprocedural traversal: bottom-up analyzes each of the "
+              "%zu functions once;\n  top-down worklist analyzed %zu "
+              "(function, context) pairs in %.2f s\n\n",
+              program.functions.size(), baseline.contexts_analyzed,
+              baseline.seconds);
+
+  // Precision value of data flow: the naive call-graph-reachability
+  // scanner flags every sink co-reachable with a source — including
+  // the sanitized twin and every incidental safe sink.
+  std::vector<NaiveFinding> naive = NaiveReachabilityScan(program);
+  std::vector<Finding> as_findings;
+  for (const NaiveFinding& nf : naive) {
+    Finding f;
+    f.path.sink_function = nf.sink_function;
+    f.path.sink_name = nf.sink;
+    f.path.sink_site = nf.sink_site;
+    f.path.source_name = nf.source;
+    f.path.vuln_class = nf.vuln_class;
+    as_findings.push_back(std::move(f));
+  }
+  DetectionScore naive_score = ScoreFindings(as_findings, out->ground_truth);
+  DTaint full;
+  auto full_report = full.Analyze(out->binary);
+  DetectionScore dtaint_score =
+      ScoreFindings(full_report->findings, out->ground_truth);
+  std::printf("precision vs the naive reachability scanner ('grep with a "
+              "call graph'):\n");
+  TextTable prec({"Detector", "Flagged", "TP", "FP+twin", "Precision",
+                  "Recall"});
+  prec.AddRow({"naive reachability", std::to_string(naive.size()),
+               std::to_string(naive_score.true_positives),
+               std::to_string(naive_score.false_positives +
+                              naive_score.safe_twin_hits),
+               FmtDouble(naive_score.Precision(), 2),
+               FmtDouble(naive_score.Recall(), 2)});
+  prec.AddRow({"DTaint", std::to_string(full_report->findings.size()),
+               std::to_string(dtaint_score.true_positives),
+               std::to_string(dtaint_score.false_positives +
+                              dtaint_score.safe_twin_hits),
+               FmtDouble(dtaint_score.Precision(), 2),
+               FmtDouble(dtaint_score.Recall(), 2)});
+  std::printf("%s", prec.Render().c_str());
+  return 0;
+}

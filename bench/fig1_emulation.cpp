@@ -1,0 +1,65 @@
+// Figure 1: "The number of firmware can be successfully emulated."
+//
+// Reproduces the paper's empirical study (§II-A): a corpus of 6,529
+// firmware images (2009-2016) is pushed through a FIRMADYNE-like
+// full-system emulation attempt; only a small fraction boots with
+// working networking. The paper's headline numbers: <670 emulable,
+// 5,859 not; >65% of images don't even unpack (§VI).
+#include <cstdio>
+
+#include "src/emu/corpus.h"
+#include "src/emu/firmadyne_sim.h"
+#include "src/report/table.h"
+#include "src/util/strings.h"
+
+using namespace dtaint;
+
+int main() {
+  std::printf("=== Figure 1: firmware emulation study "
+              "(FIRMADYNE-like, synthetic corpus) ===\n\n");
+
+  CorpusConfig config;
+  std::vector<CorpusEntry> corpus = GenerateCorpus(config);
+  auto tallies = RunEmulationStudy(corpus);
+
+  TextTable table({"Year", "Images", "Emulated", "Failed", "Emul.%",
+                   "unpack-fail", "peripheral", "nvram", "net-init"});
+  int total = 0, emulated = 0, unpack_failed = 0;
+  for (const auto& [year, tally] : tallies) {
+    total += tally.total;
+    emulated += tally.emulated;
+    auto count = [&](EmulationOutcome o) {
+      auto it = tally.by_outcome.find(o);
+      return it == tally.by_outcome.end() ? 0 : it->second;
+    };
+    unpack_failed += count(EmulationOutcome::kUnpackFailed);
+    table.AddRow({std::to_string(year), std::to_string(tally.total),
+                  std::to_string(tally.emulated),
+                  std::to_string(tally.total - tally.emulated),
+                  FmtDouble(100.0 * tally.emulated / tally.total, 1),
+                  std::to_string(count(EmulationOutcome::kUnpackFailed)),
+                  std::to_string(count(EmulationOutcome::kPeripheralFault)),
+                  std::to_string(count(EmulationOutcome::kNvramFault)),
+                  std::to_string(
+                      count(EmulationOutcome::kNetworkInitFailed))});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  // ASCII histogram in the figure's style: gray = failed, red(#) = ok.
+  std::printf("per-year histogram ('.' = 20 failed, '#' = 20 emulated):\n");
+  for (const auto& [year, tally] : tallies) {
+    std::string bar;
+    for (int i = 0; i < (tally.total - tally.emulated) / 20; ++i)
+      bar += '.';
+    for (int i = 0; i < tally.emulated / 20 + 1; ++i) bar += '#';
+    std::printf("  %d |%s\n", year, bar.c_str());
+  }
+
+  std::printf("\nTotals: %d images; %d emulable (%.1f%%), %d not; "
+              "%d (%.1f%%) failed to unpack\n",
+              total, emulated, 100.0 * emulated / total, total - emulated,
+              unpack_failed, 100.0 * unpack_failed / total);
+  std::printf("Paper:  6,529 images; <670 emulable (~10%%); 5,859 not; "
+              ">65%% failed to unpack (Section VI)\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Microbenchmarks (google-benchmark) for the analysis hot paths:
+// decode, lift, CFG recovery, per-function symbolic analysis, alias
+// recognition, layout similarity, and whole-binary detection.
+#include <benchmark/benchmark.h>
+
+#include "src/cfg/callgraph.h"
+#include "src/cfg/cfg_builder.h"
+#include "src/core/alias.h"
+#include "src/core/dtaint.h"
+#include "src/core/structsim.h"
+#include "src/isa/decode.h"
+#include "src/isa/encode.h"
+#include "src/lifter/lifter.h"
+#include "src/synth/firmware_synth.h"
+
+namespace dtaint {
+namespace {
+
+/// Shared medium-sized program for the per-phase benchmarks.
+const SynthOutput& TestProgram() {
+  static const SynthOutput out = [] {
+    ProgramSpec spec;
+    spec.name = "bench";
+    spec.arch = Arch::kDtArm;
+    spec.seed = 42;
+    spec.filler_functions = 120;
+    PlantSpec p;
+    p.id = "b1";
+    p.pattern = VulnPattern::kAliasChain;
+    p.source = "recv";
+    p.sink = "strcpy";
+    spec.plants = {p};
+    return std::move(*SynthesizeBinary(spec));
+  }();
+  return out;
+}
+
+void BM_DecodeInsn(benchmark::State& state) {
+  uint32_t word = *Encode({Op::kLdrW, 1, 5, 0, 0x4C});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Decode(word));
+  }
+}
+BENCHMARK(BM_DecodeInsn);
+
+void BM_EncodeInsn(benchmark::State& state) {
+  Insn insn{Op::kAddI, 2, 3, 0, 100};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Encode(insn));
+  }
+}
+BENCHMARK(BM_EncodeInsn);
+
+void BM_LiftBlock(benchmark::State& state) {
+  const Binary& bin = TestProgram().binary;
+  Lifter lifter(bin);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lifter.LiftBlock(bin.entry));
+  }
+}
+BENCHMARK(BM_LiftBlock);
+
+void BM_BuildProgramCfg(benchmark::State& state) {
+  const Binary& bin = TestProgram().binary;
+  CfgBuilder builder(bin);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.BuildProgram());
+  }
+}
+BENCHMARK(BM_BuildProgramCfg);
+
+void BM_SymExecFunction(benchmark::State& state) {
+  const Binary& bin = TestProgram().binary;
+  CfgBuilder builder(bin);
+  Program program = std::move(*builder.BuildProgram());
+  SymEngine engine(bin);
+  const Function& fn = program.functions.at("b1_handler");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Analyze(fn));
+  }
+}
+BENCHMARK(BM_SymExecFunction);
+
+void BM_AliasReplace(benchmark::State& state) {
+  const Binary& bin = TestProgram().binary;
+  CfgBuilder builder(bin);
+  Program program = std::move(*builder.BuildProgram());
+  SymEngine engine(bin);
+  FunctionSummary summary =
+      engine.Analyze(program.functions.at("b1_woo"));
+  for (auto _ : state) {
+    FunctionSummary copy = summary;
+    benchmark::DoNotOptimize(AliasReplace(copy));
+  }
+}
+BENCHMARK(BM_AliasReplace);
+
+void BM_LayoutSimilarity(benchmark::State& state) {
+  const Binary& bin = TestProgram().binary;
+  CfgBuilder builder(bin);
+  Program program = std::move(*builder.BuildProgram());
+  SymEngine engine(bin);
+  FunctionSummary a = engine.Analyze(program.functions.at("b1_woo"));
+  FunctionSummary b = engine.Analyze(program.functions.at("b1_handler"));
+  auto la = ExtractLayouts(a);
+  auto lb = ExtractLayouts(b);
+  if (la.empty() || lb.empty()) {
+    state.SkipWithError("no layouts");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LayoutSimilarity(la[0], lb[0]));
+  }
+}
+BENCHMARK(BM_LayoutSimilarity);
+
+void BM_WholeBinaryDetection(benchmark::State& state) {
+  const Binary& bin = TestProgram().binary;
+  DTaint detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.Analyze(bin));
+  }
+}
+BENCHMARK(BM_WholeBinaryDetection);
+
+void BM_BottomUpLinking(benchmark::State& state) {
+  const Binary& bin = TestProgram().binary;
+  CfgBuilder builder(bin);
+  Program program = std::move(*builder.BuildProgram());
+  SymEngine engine(bin);
+  CallGraph graph = CallGraph::Build(program);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunBottomUp(program, graph, engine));
+  }
+}
+BENCHMARK(BM_BottomUpLinking);
+
+}  // namespace
+}  // namespace dtaint

@@ -1,0 +1,88 @@
+// Scaling bench (extra): analysis cost vs program size.
+//
+// The paper's core efficiency claim is structural — every function is
+// symbolically analyzed exactly once, and linking is a cheap
+// substitution pass — so end-to-end cost should grow near-linearly in
+// function count while the top-down baseline grows with the number of
+// calling *contexts*. This bench sweeps synthesized binaries from 100
+// to 1600 functions and prints both curves, plus the effect of the
+// parallel intraprocedural phase.
+#include <chrono>
+#include <cstdio>
+
+#include "src/baseline/worklist_ddg.h"
+#include "src/core/dtaint.h"
+#include "src/report/table.h"
+#include "src/synth/firmware_synth.h"
+#include "src/util/strings.h"
+
+using namespace dtaint;
+
+namespace {
+
+SynthOutput ProgramOfSize(int functions) {
+  ProgramSpec spec;
+  spec.name = "scale" + std::to_string(functions);
+  spec.arch = Arch::kDtArm;
+  spec.seed = 1000 + functions;
+  spec.filler_functions = functions - 3;  // plants + main fill the rest
+  PlantSpec p;
+  p.id = "s";
+  p.pattern = VulnPattern::kWrapper;
+  p.source = "recv";
+  p.sink = "strcpy";
+  spec.plants = {p};
+  return std::move(*SynthesizeBinary(spec));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Scaling: cost vs program size ===\n\n");
+  TextTable table({"Functions", "Blocks", "DTaint total (s)",
+                   "s per 1k fns", "Baseline ctxs", "Baseline DDG (s)",
+                   "DTaint 4-thread (s)"});
+
+  for (int functions : {100, 200, 400, 800, 1600}) {
+    SynthOutput out = ProgramOfSize(functions);
+
+    DTaint seq;
+    auto report = seq.Analyze(out.binary);
+    if (!report.ok()) return 1;
+
+    DTaintConfig par_config;
+    par_config.interproc.num_threads = 4;
+    DTaint par(par_config);
+    auto par_report = par.Analyze(out.binary);
+
+    CfgBuilder builder(out.binary);
+    Program program = std::move(*builder.BuildProgram());
+    BaselineConfig config;
+    config.max_contexts = 100000;
+    auto t0 = std::chrono::steady_clock::now();
+    BaselineStats baseline = RunWorklistDdg(program, {"main"}, config);
+    double baseline_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    table.AddRow(
+        {std::to_string(report->analyzed_functions),
+         WithCommas(report->blocks),
+         FmtDouble(report->total_seconds, 3),
+         FmtDouble(1000.0 * report->total_seconds /
+                       report->analyzed_functions,
+                   3),
+         WithCommas(baseline.contexts_analyzed),
+         FmtDouble(baseline_seconds, 3),
+         FmtDouble(par_report->total_seconds, 3)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("expectation: 's per 1k fns' roughly flat (each function "
+              "analyzed once);\nbaseline contexts grow super-linearly "
+              "with call-graph density.\nnote: the 4-thread column is "
+              "typically NOT faster — the symbolic phase is\nsmall-"
+              "allocation-bound and contends in the default allocator "
+              "(see InterprocConfig).\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Table VI: "CPU, memory and time usage of prototype software" —
+// average CPU share and peak memory of the static-symbolic-analysis
+// phase vs. the data-flow-generation phase.
+//
+// Measured over the largest image (Hikvision-shaped centaurus) with
+// getrusage + /proc/self/statm sampling around each phase.
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/binary/loader.h"
+#include "src/cfg/callgraph.h"
+#include "src/core/dtaint.h"
+#include "src/core/interproc.h"
+#include "src/core/pathfinder.h"
+#include "src/core/sanitizer.h"
+#include "src/core/structsim.h"
+#include "src/report/table.h"
+#include "src/synth/paper_images.h"
+#include "src/util/strings.h"
+
+using namespace dtaint;
+
+namespace {
+
+double CpuSeconds() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_utime.tv_sec + usage.ru_utime.tv_usec * 1e-6 +
+         usage.ru_stime.tv_sec + usage.ru_stime.tv_usec * 1e-6;
+}
+
+double RssMb() {
+  std::ifstream statm("/proc/self/statm");
+  long pages = 0, resident = 0;
+  statm >> pages >> resident;
+  return resident * (sysconf(_SC_PAGESIZE) / 1024.0 / 1024.0);
+}
+
+double WallNow() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return ts.tv_sec + ts.tv_nsec * 1e-9;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table VI: CPU, memory and time usage ===\n\n");
+
+  // Largest image: Hikvision-shaped centaurus.
+  auto specs = PaperImageSpecs();
+  const PaperImageSpec& spec = specs.back();
+  auto fw = BuildPaperImage(spec);
+  if (!fw.ok()) return 1;
+  const FirmwareFile* file = fw->image.FindFile(spec.firmware.binary_path);
+  auto binary = BinaryLoader::Load(file->bytes);
+
+  // Phase 1: lifting + static symbolic analysis (SSA).
+  double cpu0 = CpuSeconds(), wall0 = WallNow(), mem0 = RssMb();
+  CfgBuilder builder(*binary);
+  Program program = std::move(*builder.BuildProgram());
+  SymEngine engine(*binary);
+  CallGraph graph = CallGraph::Build(program);
+  ProgramAnalysis analysis = RunBottomUp(program, graph, engine);
+  double cpu1 = CpuSeconds(), wall1 = WallNow(), mem1 = RssMb();
+
+  // Phase 2: data-flow generation (indirect-call resolution, linking,
+  // path search, sanitization).
+  auto resolutions = ResolveIndirectCalls(program, analysis.summaries);
+  CallGraph graph2 = CallGraph::Build(program);
+  ProgramAnalysis linked = RunBottomUp(program, graph2, engine);
+  PathFinder finder(program, linked);
+  auto paths = finder.FindAll();
+  auto vulns = FilterVulnerable(paths);
+  double cpu2 = CpuSeconds(), wall2 = WallNow(), mem2 = RssMb();
+
+  TextTable table({"Phase", "CPU usage", "Peak RSS", "Wall time"});
+  auto cpu_pct = [](double cpu, double wall) {
+    return wall <= 0 ? 0.0 : 100.0 * cpu / wall;
+  };
+  table.AddRow({"Static symbolic analysis",
+                FmtDouble(cpu_pct(cpu1 - cpu0, wall1 - wall0), 0) + "%",
+                FmtDouble(mem1 - mem0, 1) + " MB (+base " +
+                    FmtDouble(mem0, 1) + ")",
+                FmtDouble(wall1 - wall0, 2) + " s"});
+  table.AddRow({"Data flow generation",
+                FmtDouble(cpu_pct(cpu2 - cpu1, wall2 - wall1), 0) + "%",
+                FmtDouble(mem2 - mem1, 1) + " MB",
+                FmtDouble(wall2 - wall1, 2) + " s"});
+  std::printf("measured on %s (%zu functions; largest image):\n%s\n",
+              binary->soname.c_str(), program.functions.size(),
+              table.Render().c_str());
+  std::printf("paper-reported (128 GB testbed, full 14k-function "
+              "binary):\n");
+  std::printf("  Static symbolic analysis: 25%% CPU, 15.3 GB\n");
+  std::printf("  Data flow generation:     10%% CPU, 208.9 MB\n\n");
+  std::printf("shape check: SSA dominates memory/CPU; DDG phase is the "
+              "cheap one (%s)\n",
+              (mem1 - mem0) > (mem2 - mem1) ? "holds" : "DOES NOT HOLD");
+  std::printf("(paths found: %zu, vulnerable: %zu, indirect resolved: "
+              "%zu)\n",
+              paths.size(), vulns.size(), resolutions.size());
+  return 0;
+}

@@ -1,0 +1,291 @@
+// dtaint_cli: a command-line front end over the library, operating on
+// files — the shape of tool a firmware-security team would actually
+// run in CI.
+//
+//   dtaint_cli synth <out.dtfw> [--arch arm|mips] [--seed N]
+//              [--vulns K] [--safe K] [--packing plain|xor|encrypted]
+//   dtaint_cli extract <image.dtfw>
+//   dtaint_cli inspect <image.dtfw> [function]
+//   dtaint_cli scan <image.dtfw> [--json] [--no-alias]
+//              [--no-structsim] [--threads N]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/binary/loader.h"
+#include "src/core/dtaint.h"
+#include "src/firmware/extractor.h"
+#include "src/firmware/packer.h"
+#include "src/ir/printer.h"
+#include "src/report/json.h"
+#include "src/synth/firmware_synth.h"
+#include "src/util/strings.h"
+
+using namespace dtaint;
+
+namespace {
+
+std::vector<uint8_t> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+bool WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return out.good();
+}
+
+const char* FlagValue(int argc, char** argv, const char* flag) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+int CmdSynth(int argc, char** argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "synth: missing output path\n");
+    return 2;
+  }
+  FirmwareSpec spec;
+  spec.vendor = "Acme";
+  spec.product = "RT-9000";
+  spec.version = "1.0";
+  spec.binary_path = "/bin/httpd";
+  spec.program.name = "httpd";
+  spec.program.filler_functions = 80;
+  if (const char* arch = FlagValue(argc, argv, "--arch")) {
+    spec.program.arch =
+        std::strcmp(arch, "mips") == 0 ? Arch::kDtMips : Arch::kDtArm;
+  }
+  if (const char* seed = FlagValue(argc, argv, "--seed")) {
+    spec.program.seed = std::strtoull(seed, nullptr, 10);
+  }
+  if (const char* packing = FlagValue(argc, argv, "--packing")) {
+    if (std::strcmp(packing, "xor") == 0) spec.packing = Packing::kXor;
+    if (std::strcmp(packing, "encrypted") == 0) {
+      spec.packing = Packing::kEncrypted;
+    }
+  }
+  int vulns = 2, safe = 1;
+  if (const char* v = FlagValue(argc, argv, "--vulns")) vulns = atoi(v);
+  if (const char* s = FlagValue(argc, argv, "--safe")) safe = atoi(s);
+
+  const VulnPattern patterns[] = {
+      VulnPattern::kDirect, VulnPattern::kWrapper, VulnPattern::kAliasChain,
+      VulnPattern::kLoopCopy, VulnPattern::kDispatch};
+  for (int i = 0; i < vulns + safe; ++i) {
+    PlantSpec p;
+    p.id = "plant" + std::to_string(i);
+    p.pattern = patterns[i % 5];
+    switch (p.pattern) {
+      case VulnPattern::kLoopCopy:
+        p.source = "recv";
+        p.sink = "loop";
+        break;
+      case VulnPattern::kDispatch:
+        p.source = "recv";
+        p.sink = "memcpy";
+        break;
+      case VulnPattern::kAliasChain:
+        p.source = "recv";
+        p.sink = "strcpy";
+        break;
+      default:
+        p.source = i % 2 ? "getenv" : "recv";
+        p.sink = i % 2 ? "system" : "memcpy";
+    }
+    p.sanitized = i >= vulns;
+    spec.program.plants.push_back(std::move(p));
+  }
+
+  auto fw = SynthesizeFirmware(spec);
+  if (!fw.ok()) {
+    std::fprintf(stderr, "synth failed: %s\n",
+                 fw.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<uint8_t> blob = FirmwarePacker::Pack(fw->image);
+  if (!WriteFile(argv[0], blob)) {
+    std::fprintf(stderr, "cannot write %s\n", argv[0]);
+    return 1;
+  }
+  std::printf("wrote %s: %zu bytes, %d vulnerable + %d sanitized "
+              "plants, packing=%s\n",
+              argv[0], blob.size(), vulns, safe,
+              std::string(PackingName(spec.packing)).c_str());
+  return 0;
+}
+
+Result<Binary> LoadFirstBinary(const std::string& path,
+                               bool print_rootfs = false) {
+  std::vector<uint8_t> blob = ReadFile(path);
+  if (blob.empty()) return NotFound("cannot read " + path);
+  // Accept either a firmware image or a bare DTBIN binary.
+  if (BinaryLoader::LooksLikeBinary(blob)) {
+    return BinaryLoader::Load(blob);
+  }
+  auto extracted = FirmwareExtractor::Extract(blob);
+  if (!extracted.ok()) return extracted.status();
+  if (print_rootfs) {
+    std::printf("%s %s v%s (%u), %zu files:\n",
+                extracted->image.vendor.c_str(),
+                extracted->image.product.c_str(),
+                extracted->image.version.c_str(),
+                extracted->image.release_year,
+                extracted->image.files.size());
+    for (const FirmwareFile& f : extracted->image.files) {
+      std::printf("  %-26s %7zu bytes%s\n", f.path.c_str(), f.bytes.size(),
+                  BinaryLoader::LooksLikeBinary(f.bytes)
+                      ? "  [executable]"
+                      : "");
+    }
+  }
+  if (extracted->executable_paths.empty()) {
+    return NotFound("no executables in image");
+  }
+  return BinaryLoader::Load(
+      extracted->image.FindFile(extracted->executable_paths[0])->bytes);
+}
+
+int CmdExtract(int argc, char** argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "extract: missing image path\n");
+    return 2;
+  }
+  auto binary = LoadFirstBinary(argv[0], /*print_rootfs=*/true);
+  if (!binary.ok()) {
+    std::fprintf(stderr, "extract failed: %s\n",
+                 binary.status().ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int CmdInspect(int argc, char** argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "inspect: missing image path\n");
+    return 2;
+  }
+  auto binary = LoadFirstBinary(argv[0]);
+  if (!binary.ok()) {
+    std::fprintf(stderr, "inspect failed: %s\n",
+                 binary.status().ToString().c_str());
+    return 1;
+  }
+  CfgBuilder builder(*binary);
+  auto program = builder.BuildProgram();
+  if (!program.ok()) {
+    std::fprintf(stderr, "cfg failed: %s\n",
+                 program.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s (%s): %zu functions, %zu blocks, %zu call edges, "
+              "%zu imports\n",
+              binary->soname.c_str(),
+              std::string(ArchName(binary->arch)).c_str(),
+              program->functions.size(), program->TotalBlocks(),
+              program->CallEdgeCount(), binary->imports.size());
+  if (argc >= 2) {
+    const Function* fn = program->FindFunction(argv[1]);
+    if (!fn) {
+      std::fprintf(stderr, "no such function: %s\n", argv[1]);
+      return 1;
+    }
+    std::printf("\n%s @ %s, %zu blocks:\n\n", fn->name.c_str(),
+                HexStr(fn->addr).c_str(), fn->blocks.size());
+    for (const auto& [addr, block] : fn->blocks) {
+      std::printf("%s", PrintBlockWithDisasm(*binary, block).c_str());
+    }
+    if (HasFlag(argc, argv, "--summary")) {
+      SymEngine engine(*binary);
+      std::printf("\n%s", SummaryToString(engine.Analyze(*fn)).c_str());
+    }
+  } else {
+    std::printf("functions:\n");
+    int shown = 0;
+    for (const auto& [name, fn] : program->functions) {
+      std::printf("  %s  %-28s %3zu blocks, %2zu calls\n",
+                  HexStr(fn.addr).c_str(), name.c_str(),
+                  fn.blocks.size(), fn.callsites.size());
+      if (++shown == 40) {
+        std::printf("  ... (%zu more)\n", program->functions.size() - 40);
+        break;
+      }
+    }
+  }
+  return 0;
+}
+
+int CmdScan(int argc, char** argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "scan: missing image path\n");
+    return 2;
+  }
+  auto binary = LoadFirstBinary(argv[0]);
+  if (!binary.ok()) {
+    std::fprintf(stderr, "scan failed: %s\n",
+                 binary.status().ToString().c_str());
+    return 1;
+  }
+  DTaintConfig config;
+  config.enable_alias = !HasFlag(argc, argv, "--no-alias");
+  config.enable_structsim = !HasFlag(argc, argv, "--no-structsim");
+  if (const char* threads = FlagValue(argc, argv, "--threads")) {
+    config.interproc.num_threads = atoi(threads);
+  }
+  DTaint detector(config);
+  auto report = detector.Analyze(*binary);
+  if (!report.ok()) {
+    std::fprintf(stderr, "analysis failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  if (HasFlag(argc, argv, "--json")) {
+    std::printf("%s\n", ReportToJson(*report).c_str());
+  } else {
+    std::printf("%s: %zu functions, %zu sinks, %.2fs; %zu vulnerable "
+                "path(s)\n",
+                report->binary_name.c_str(), report->analyzed_functions,
+                report->sink_count, report->total_seconds,
+                report->findings.size());
+    for (size_t i = 0; i < report->findings.size(); ++i) {
+      std::printf("[%zu] %s\n", i + 1,
+                  report->findings[i].Summary().c_str());
+      for (const PathHop& hop : report->findings[i].path.hops) {
+        std::printf("     %-20s %s  %s\n", hop.function.c_str(),
+                    HexStr(hop.site).c_str(), hop.note.c_str());
+      }
+    }
+  }
+  return report->findings.empty() ? 0 : 3;  // CI-friendly exit code
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: dtaint_cli <synth|extract|inspect|scan> ...\n");
+    return 2;
+  }
+  std::string cmd = argv[1];
+  if (cmd == "synth") return CmdSynth(argc - 2, argv + 2);
+  if (cmd == "extract") return CmdExtract(argc - 2, argv + 2);
+  if (cmd == "inspect") return CmdInspect(argc - 2, argv + 2);
+  if (cmd == "scan") return CmdScan(argc - 2, argv + 2);
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  return 2;
+}

@@ -1,0 +1,138 @@
+// heartbleed_demo: the paper's running example (Figures 2-3) rebuilt
+// on DT-RISC and caught by DTaint.
+//
+// The CVE-2014-0160 data flow the paper narrates:
+//   * ssl3_read_n reads TLS record bytes from the network into a
+//     buffer whose pointer is parked in a field of the SSL context
+//     struct (s->s3->rbuf at offset 0x4C in our model);
+//   * tls1_process_heartbeat pulls the record pointer back out of the
+//     struct (the *alias name*), reads the attacker's 16-bit payload
+//     length out of the record (the inlined n2s macro), and calls
+//     memcpy with that unchecked length — leaking heap memory.
+//
+// At the binary level the n2s source is invisible (inlined) and the
+// buffer travels through a struct field, which is exactly why the
+// paper says off-the-shelf static taint tools miss it. DTaint's
+// alias recognition + bottom-up summaries connect the dots.
+#include <cstdio>
+
+#include "src/dtaint.h"
+#include "src/util/strings.h"
+
+using namespace dtaint;
+
+int main() {
+  BinaryWriter writer(Arch::kDtArm, "libssl_demo");
+  writer.AddImport("recv");
+  writer.AddImport("memcpy");
+
+  // ssl3_read_n(s, n): read record bytes; park the record pointer in
+  // s->rbuf (offset 0x4C), like the STR into [R4,#0x118] at 0x68148.
+  {
+    FnBuilder b("ssl3_read_n");  // arg0 = s, arg1 = rrec
+    b.LdrW(5, 1, 0x24);          // r5 = rrec->data
+    b.StrW(5, 0, 0x4C);          // s->rbuf = r5   (the alias store)
+    b.MovI(0, 3);                // fd
+    b.MovR(1, 5);
+    b.MovI(2, 0x200);
+    b.Call("recv");              // network bytes land in *r5
+    b.Ret();
+    writer.AddFunction(std::move(b).Finish().value());
+  }
+  // tls1_process_heartbeat(s, rrec): read payload length out of the
+  // record (the inlined n2s) and memcpy that many bytes.
+  {
+    FnBuilder b("tls1_process_heartbeat");  // arg0 = s
+    b.SubI(13, 13, 0x118);
+    b.MovR(7, 0);            // keep s
+    b.Call("ssl3_read_n");
+    b.LdrW(4, 7, 0x4C);      // p = s->rbuf (via the alias name)
+    b.LdrB(5, 4, 1);         // n2s: payload length hi byte...
+    b.LslI(5, 5, 8);
+    b.LdrB(6, 4, 2);         //      ...lo byte
+    b.OrrR(5, 5, 6);         // payload = (p[1] << 8) | p[2]
+    b.AddI(0, 13, 0x18);     // bp (response buffer on the stack)
+    b.AddI(1, 4, 3);         // pl = p + 3
+    b.MovR(2, 5);            // n = payload  -- NO bounds check
+    b.Call("memcpy");        // <-- Heartbleed
+    b.AddI(13, 13, 0x118);
+    b.Ret();
+    writer.AddFunction(std::move(b).Finish().value());
+  }
+  // A patched twin with OpenSSL's actual fix shape:
+  // if (1 + 2 + payload + 16 > s->s3->rrec.length) return;  — modeled
+  // as a bound on the payload before the copy.
+  {
+    FnBuilder b("tls1_process_heartbeat_patched");
+    b.SubI(13, 13, 0x118);
+    b.MovR(7, 0);
+    b.Call("ssl3_read_n");
+    b.LdrW(4, 7, 0x4C);
+    b.LdrB(5, 4, 1);
+    b.LslI(5, 5, 8);
+    b.LdrB(6, 4, 2);
+    b.OrrR(5, 5, 6);
+    b.LdrW(8, 7, 0x50);      // record length field
+    b.CmpR(5, 8);            // payload >= length? discard.
+    b.Bge("silently_discard");
+    b.AddI(0, 13, 0x18);
+    b.AddI(1, 4, 3);
+    b.MovR(2, 5);
+    b.Call("memcpy");
+    b.Label("silently_discard");
+    b.AddI(13, 13, 0x118);
+    b.Ret();
+    writer.AddFunction(std::move(b).Finish().value());
+  }
+  {
+    FnBuilder b("ssl3_read_bytes");
+    b.SubI(13, 13, 0x40);
+    b.AddI(1, 13, 0x10);     // rrec on the caller's frame
+    b.Call("tls1_process_heartbeat");
+    b.AddI(1, 13, 0x10);
+    b.Call("tls1_process_heartbeat_patched");
+    b.AddI(13, 13, 0x40);
+    b.Ret();
+    writer.AddFunction(std::move(b).Finish().value());
+  }
+  writer.SetEntry("ssl3_read_bytes");
+  Binary binary = writer.Build().value();
+
+  std::printf("libssl_demo: %zu functions (DT-RISC model of the "
+              "paper's Fig. 3 flow)\n\n",
+              binary.symbols.size());
+
+  DTaint detector;
+  AnalysisReport report = detector.Analyze(binary).value();
+  for (const Finding& finding : report.findings) {
+    std::printf("FINDING: %s\n", finding.Summary().c_str());
+    for (const PathHop& hop : finding.path.hops) {
+      std::printf("  [%s @%s] %s\n", hop.function.c_str(),
+                  HexStr(hop.site).c_str(), hop.note.c_str());
+    }
+    std::printf("\n");
+  }
+
+  bool vulnerable_found = false, patched_flagged = false;
+  for (const Finding& finding : report.findings) {
+    if (finding.path.sink_function == "tls1_process_heartbeat") {
+      vulnerable_found = true;
+    }
+    if (finding.path.sink_function == "tls1_process_heartbeat_patched") {
+      patched_flagged = true;
+    }
+  }
+  if (vulnerable_found && !patched_flagged) {
+    std::printf("OK: Heartbleed detected; the patched handler is "
+                "clean.\n");
+    std::printf("(The paper: \"the state-of-the-art static taint "
+                "analysis cannot detect Heartbleed\n weakness at the "
+                "binary code level\" — the alias store at ssl3_read_n "
+                "plus the\n bottom-up summary makes the flow visible "
+                "here.)\n");
+    return 0;
+  }
+  std::printf("UNEXPECTED RESULT (vulnerable=%d patched_flagged=%d)\n",
+              vulnerable_found, patched_flagged);
+  return 1;
+}

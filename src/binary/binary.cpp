@@ -1,0 +1,70 @@
+#include "src/binary/binary.h"
+
+#include <algorithm>
+
+namespace dtaint {
+
+std::string_view SectionKindName(SectionKind kind) {
+  switch (kind) {
+    case SectionKind::kText:
+      return ".text";
+    case SectionKind::kRodata:
+      return ".rodata";
+    case SectionKind::kData:
+      return ".data";
+    case SectionKind::kBss:
+      return ".bss";
+  }
+  return "?";
+}
+
+const Section* Binary::FindSection(std::string_view name) const {
+  for (const Section& s : sections) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const Symbol* Binary::FindSymbol(std::string_view name) const {
+  for (const Symbol& s : symbols) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const Symbol* Binary::SymbolAt(uint32_t addr) const {
+  for (const Symbol& s : symbols) {
+    if (addr >= s.addr && addr < s.addr + s.size) return &s;
+  }
+  return nullptr;
+}
+
+const Import* Binary::ImportAt(uint32_t addr) const {
+  for (const Import& imp : imports) {
+    if (imp.stub_addr == addr) return &imp;
+  }
+  return nullptr;
+}
+
+bool Binary::IsImportStub(uint32_t addr) const {
+  return ImportAt(addr) != nullptr;
+}
+
+Result<uint32_t> Binary::ReadWordAt(uint32_t addr) const {
+  for (const Section& s : sections) {
+    if (addr >= s.addr && addr + 4 <= s.addr + s.size) {
+      uint32_t off = addr - s.addr;
+      if (off + 4 > s.bytes.size()) return uint32_t{0};  // .bss tail
+      return ReadWord(arch, s.bytes.data() + off);
+    }
+  }
+  return OutOfRange("address not mapped: " + std::to_string(addr));
+}
+
+uint64_t Binary::MappedSize() const {
+  uint64_t total = 0;
+  for (const Section& s : sections) total += s.size;
+  return total;
+}
+
+}  // namespace dtaint

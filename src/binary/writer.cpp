@@ -1,0 +1,221 @@
+#include "src/binary/writer.h"
+
+#include <cassert>
+
+#include "src/isa/encode.h"
+#include "src/util/hash.h"
+
+namespace dtaint {
+
+namespace {
+
+// Little-endian metadata writers (metadata endianness is fixed; only
+// instruction/data words inside sections honor the arch flavor).
+void PutU8(std::vector<uint8_t>& out, uint8_t v) { out.push_back(v); }
+void PutU16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  PutU16(out, static_cast<uint16_t>(v));
+  PutU16(out, static_cast<uint16_t>(v >> 16));
+}
+void PutU64(std::vector<uint8_t>& out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+void PutStr(std::vector<uint8_t>& out, const std::string& s) {
+  PutU16(out, static_cast<uint16_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+}  // namespace
+
+BinaryWriter::BinaryWriter(Arch arch, std::string soname)
+    : arch_(arch), soname_(std::move(soname)) {}
+
+void BinaryWriter::AddFunction(AsmFunction fn) {
+  if (entry_symbol_.empty()) entry_symbol_ = fn.name;
+  functions_.push_back(std::move(fn));
+}
+
+void BinaryWriter::AddImport(const std::string& name) {
+  if (import_idx_.count(name)) return;
+  import_idx_[name] = imports_.size();
+  imports_.push_back(name);
+}
+
+uint32_t BinaryWriter::AddRodata(std::vector<uint8_t> bytes) {
+  uint32_t off = static_cast<uint32_t>(rodata_.size());
+  rodata_.insert(rodata_.end(), bytes.begin(), bytes.end());
+  while (rodata_.size() % 4) rodata_.push_back(0);
+  return off;
+}
+
+uint32_t BinaryWriter::AddData(std::vector<uint8_t> bytes) {
+  uint32_t off = static_cast<uint32_t>(data_.size());
+  data_.insert(data_.end(), bytes.begin(), bytes.end());
+  while (data_.size() % 4) data_.push_back(0);
+  return off;
+}
+
+uint32_t BinaryWriter::AddBss(uint32_t size) {
+  uint32_t off = bss_size_;
+  bss_size_ += (size + 3) & ~3u;
+  return off;
+}
+
+void BinaryWriter::AddDataReloc(DataReloc reloc) {
+  data_relocs_.push_back(std::move(reloc));
+}
+
+void BinaryWriter::SetEntry(const std::string& symbol) {
+  entry_symbol_ = symbol;
+}
+
+Result<Binary> BinaryWriter::Build() const {
+  Binary bin;
+  bin.arch = arch_;
+  bin.soname = soname_;
+
+  // Import stubs live below .text at fixed stride.
+  for (size_t i = 0; i < imports_.size(); ++i) {
+    bin.imports.push_back(
+        {imports_[i], kPltBase + static_cast<uint32_t>(i) * kPltStride});
+  }
+
+  // Lay out functions contiguously in .text.
+  std::map<std::string, uint32_t> fn_addr;
+  uint32_t cursor = kTextBase;
+  for (const AsmFunction& fn : functions_) {
+    if (fn_addr.count(fn.name)) {
+      return InvalidArgument("duplicate function symbol: " + fn.name);
+    }
+    fn_addr[fn.name] = cursor;
+    cursor += static_cast<uint32_t>(fn.insns.size()) * kInsnSize;
+  }
+
+  auto resolve = [&](const std::string& name) -> std::optional<uint32_t> {
+    if (auto it = fn_addr.find(name); it != fn_addr.end()) return it->second;
+    if (auto it = import_idx_.find(name); it != import_idx_.end()) {
+      return kPltBase + static_cast<uint32_t>(it->second) * kPltStride;
+    }
+    return std::nullopt;
+  };
+
+  // Encode .text with call fixups resolved to absolute targets.
+  Section text{SectionKind::kText, ".text", kTextBase, 0, {}};
+  for (const AsmFunction& fn : functions_) {
+    uint32_t base = fn_addr[fn.name];
+    std::vector<Insn> insns = fn.insns;
+    for (const Fixup& fx : fn.call_fixups) {
+      auto target = resolve(fx.target);
+      if (!target) {
+        return NotFound("unresolved call target '" + fx.target +
+                        "' in function " + fn.name);
+      }
+      uint32_t pc = base + static_cast<uint32_t>(fx.insn_index) * kInsnSize;
+      int64_t delta =
+          (static_cast<int64_t>(*target) - (static_cast<int64_t>(pc) + 4)) /
+          kInsnSize;
+      if (delta < kImm24Min || delta > kImm24Max) {
+        return OutOfRange("call to '" + fx.target + "' out of BL range");
+      }
+      insns[fx.insn_index].imm = static_cast<int32_t>(delta);
+    }
+    for (const Insn& insn : insns) {
+      auto word = Encode(insn);
+      if (!word.ok()) {
+        return Status(word.status().code(), "in function " + fn.name +
+                                                ": " +
+                                                word.status().message());
+      }
+      uint8_t buf[4];
+      WriteWord(arch_, buf, *word);
+      text.bytes.insert(text.bytes.end(), buf, buf + 4);
+    }
+    bin.symbols.push_back(
+        {fn.name, base, static_cast<uint32_t>(fn.insns.size()) * kInsnSize,
+         true});
+  }
+  text.size = static_cast<uint32_t>(text.bytes.size());
+
+  // Data sections live at fixed bases (binary.h) so code could embed
+  // pointers into them before layout. .text must stay below .rodata.
+  if (kTextBase + text.size > kRodataBase) {
+    return OutOfRange(".text overflows into .rodata region");
+  }
+  if (rodata_.size() > kDataBase - kRodataBase ||
+      data_.size() > kBssBase - kDataBase) {
+    return OutOfRange("data section too large for fixed layout");
+  }
+
+  Section rodata{SectionKind::kRodata, ".rodata", kRodataBase,
+                 static_cast<uint32_t>(rodata_.size()), rodata_};
+  Section data{SectionKind::kData, ".data", kDataBase,
+               static_cast<uint32_t>(data_.size()), data_};
+  Section bss{SectionKind::kBss, ".bss", kBssBase, bss_size_, {}};
+
+  // Apply function-pointer relocations into data/rodata payloads.
+  for (const DataReloc& reloc : data_relocs_) {
+    Section* sec = nullptr;
+    if (reloc.section == ".data") sec = &data;
+    else if (reloc.section == ".rodata") sec = &rodata;
+    else return InvalidArgument("reloc into unknown section " + reloc.section);
+    if (reloc.offset + 4 > sec->bytes.size()) {
+      return OutOfRange("reloc offset beyond section " + reloc.section);
+    }
+    auto target = resolve(reloc.symbol);
+    if (!target) return NotFound("unresolved data reloc: " + reloc.symbol);
+    WriteWord(arch_, sec->bytes.data() + reloc.offset, *target);
+  }
+
+  bin.sections.push_back(std::move(text));
+  if (!rodata.bytes.empty()) bin.sections.push_back(std::move(rodata));
+  if (!data.bytes.empty()) bin.sections.push_back(std::move(data));
+  if (bss.size > 0) bin.sections.push_back(std::move(bss));
+
+  auto entry = resolve(entry_symbol_);
+  if (!entry) return NotFound("entry symbol not defined: " + entry_symbol_);
+  bin.entry = *entry;
+  return bin;
+}
+
+std::vector<uint8_t> BinaryWriter::Serialize(const Binary& binary) {
+  std::vector<uint8_t> out;
+  out.push_back('D');
+  out.push_back('T');
+  out.push_back('B');
+  out.push_back('1');
+  PutU8(out, static_cast<uint8_t>(binary.arch));
+  PutU8(out, 0);  // flags
+  PutU16(out, 0);
+  PutStr(out, binary.soname);
+  PutU32(out, binary.entry);
+  PutU32(out, static_cast<uint32_t>(binary.sections.size()));
+  PutU32(out, static_cast<uint32_t>(binary.symbols.size()));
+  PutU32(out, static_cast<uint32_t>(binary.imports.size()));
+  for (const Section& s : binary.sections) {
+    PutU8(out, static_cast<uint8_t>(s.kind));
+    PutStr(out, s.name);
+    PutU32(out, s.addr);
+    PutU32(out, s.size);
+    PutU32(out, static_cast<uint32_t>(s.bytes.size()));
+    out.insert(out.end(), s.bytes.begin(), s.bytes.end());
+  }
+  for (const Symbol& sym : binary.symbols) {
+    PutStr(out, sym.name);
+    PutU32(out, sym.addr);
+    PutU32(out, sym.size);
+    PutU8(out, sym.is_function ? 1 : 0);
+  }
+  for (const Import& imp : binary.imports) {
+    PutStr(out, imp.name);
+    PutU32(out, imp.stub_addr);
+  }
+  uint64_t checksum = Fnv1a(std::span<const uint8_t>(out.data(), out.size()));
+  PutU64(out, checksum);
+  return out;
+}
+
+}  // namespace dtaint

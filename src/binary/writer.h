@@ -1,0 +1,69 @@
+// BinaryWriter: lays out assembled functions and data into a Binary,
+// resolves symbolic call fixups (to local functions or import stubs),
+// and serializes the DTBIN container to bytes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/binary/binary.h"
+#include "src/isa/asm_builder.h"
+#include "src/util/status.h"
+
+namespace dtaint {
+
+/// A request to patch a .data/.rodata word with a function's final
+/// address — how synthesized dispatch tables hold function pointers.
+struct DataReloc {
+  std::string section;  // ".data" or ".rodata"
+  uint32_t offset = 0;  // byte offset within the section payload
+  std::string symbol;   // function whose address is written
+};
+
+class BinaryWriter {
+ public:
+  BinaryWriter(Arch arch, std::string soname);
+
+  /// Appends a function to .text (layout order = insertion order).
+  void AddFunction(AsmFunction fn);
+
+  /// Declares an external library function; repeated adds are no-ops.
+  void AddImport(const std::string& name);
+
+  /// Appends raw bytes to .rodata / .data; returns the byte offset of
+  /// the blob within the section.
+  uint32_t AddRodata(std::vector<uint8_t> bytes);
+  uint32_t AddData(std::vector<uint8_t> bytes);
+  /// Reserves zero-initialized space in .bss; returns its offset.
+  uint32_t AddBss(uint32_t size);
+
+  /// Requests a pointer-to-function patch inside .data/.rodata.
+  void AddDataReloc(DataReloc reloc);
+
+  /// Entry point symbol (defaults to the first function).
+  void SetEntry(const std::string& symbol);
+
+  /// Lays out sections, assigns addresses, resolves all fixups.
+  Result<Binary> Build() const;
+
+  /// Serializes a built Binary to the DTBIN wire format.
+  static std::vector<uint8_t> Serialize(const Binary& binary);
+
+  size_t function_count() const { return functions_.size(); }
+
+ private:
+  Arch arch_;
+  std::string soname_;
+  std::string entry_symbol_;
+  std::vector<AsmFunction> functions_;
+  std::vector<std::string> imports_;          // insertion order
+  std::map<std::string, size_t> import_idx_;  // name -> index
+  std::vector<uint8_t> rodata_;
+  std::vector<uint8_t> data_;
+  uint32_t bss_size_ = 0;
+  std::vector<DataReloc> data_relocs_;
+};
+
+}  // namespace dtaint

@@ -1,0 +1,128 @@
+#include "src/cfg/callgraph.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace dtaint {
+
+CallGraph CallGraph::Build(const Program& program) {
+  CallGraph graph;
+  for (const auto& [name, fn] : program.functions) {
+    graph.callees_[name];  // ensure node exists
+    for (const CallSite& cs : fn.callsites) {
+      std::vector<std::string> targets;
+      if (cs.is_indirect) {
+        targets = cs.resolved_targets;
+      } else if (!cs.target_is_import && !cs.target_name.empty()) {
+        targets.push_back(cs.target_name);
+      }
+      for (const std::string& callee : targets) {
+        if (!program.functions.count(callee)) continue;
+        graph.callees_[name].insert(callee);
+        graph.callers_[callee].insert(name);
+      }
+    }
+  }
+  // Make sure every function has a callers entry too.
+  for (const auto& [name, _] : graph.callees_) graph.callers_[name];
+  graph.ComputeSccs();
+  return graph;
+}
+
+const std::set<std::string>& CallGraph::Callees(const std::string& fn) const {
+  static const std::set<std::string> kEmpty;
+  auto it = callees_.find(fn);
+  return it == callees_.end() ? kEmpty : it->second;
+}
+
+const std::set<std::string>& CallGraph::Callers(const std::string& fn) const {
+  static const std::set<std::string> kEmpty;
+  auto it = callers_.find(fn);
+  return it == callers_.end() ? kEmpty : it->second;
+}
+
+size_t CallGraph::EdgeCount() const {
+  size_t total = 0;
+  for (const auto& [_, callees] : callees_) total += callees.size();
+  return total;
+}
+
+void CallGraph::ComputeSccs() {
+  // Iterative Tarjan.
+  struct NodeState {
+    int index = -1;
+    int lowlink = -1;
+    bool on_stack = false;
+  };
+  std::map<std::string, NodeState> state;
+  std::vector<std::string> tarjan_stack;
+  int next_index = 0;
+
+  struct Frame {
+    std::string node;
+    std::set<std::string>::const_iterator it;
+    std::set<std::string>::const_iterator end;
+  };
+
+  for (const auto& [root, _] : callees_) {
+    if (state[root].index != -1) continue;
+    std::vector<Frame> call_stack;
+    auto enter = [&](const std::string& node) {
+      NodeState& ns = state[node];
+      ns.index = ns.lowlink = next_index++;
+      ns.on_stack = true;
+      tarjan_stack.push_back(node);
+      const auto& succ = callees_.at(node);
+      call_stack.push_back({node, succ.begin(), succ.end()});
+    };
+    enter(root);
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      if (frame.it != frame.end) {
+        const std::string& succ = *frame.it++;
+        NodeState& ss = state[succ];
+        if (ss.index == -1) {
+          enter(succ);
+        } else if (ss.on_stack) {
+          NodeState& ns = state[frame.node];
+          ns.lowlink = std::min(ns.lowlink, ss.index);
+        }
+      } else {
+        std::string node = frame.node;
+        call_stack.pop_back();
+        NodeState& ns = state[node];
+        if (!call_stack.empty()) {
+          NodeState& parent = state[call_stack.back().node];
+          parent.lowlink = std::min(parent.lowlink, ns.lowlink);
+        }
+        if (ns.lowlink == ns.index) {
+          std::vector<std::string> scc;
+          for (;;) {
+            std::string member = tarjan_stack.back();
+            tarjan_stack.pop_back();
+            state[member].on_stack = false;
+            scc.push_back(member);
+            if (member == node) break;
+          }
+          int id = static_cast<int>(sccs_.size());
+          for (const std::string& member : scc) scc_id_[member] = id;
+          sccs_.push_back(std::move(scc));
+        }
+      }
+    }
+  }
+}
+
+std::vector<std::string> CallGraph::BottomUpOrder() const {
+  // Tarjan emits SCCs in reverse topological order of the condensation
+  // — i.e. callees' SCCs before callers' SCCs — which is exactly the
+  // bottom-up order DTaint needs.
+  std::vector<std::string> order;
+  order.reserve(scc_id_.size());
+  for (const auto& scc : sccs_) {
+    for (const std::string& member : scc) order.push_back(member);
+  }
+  return order;
+}
+
+}  // namespace dtaint

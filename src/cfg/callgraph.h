@@ -1,0 +1,49 @@
+// Call graph over a Program, with Tarjan SCC condensation and the
+// bottom-up (post-order, callees before callers) traversal order that
+// DTaint's interprocedural phase requires (paper §III-E: "traverse the
+// call graph in post-order ... each function is analyzed only once").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/cfg/cfg_builder.h"
+
+namespace dtaint {
+
+class CallGraph {
+ public:
+  /// Builds from a program's direct call edges plus any indirect-call
+  /// targets already resolved into CallSite::resolved_targets.
+  static CallGraph Build(const Program& program);
+
+  const std::set<std::string>& Callees(const std::string& fn) const;
+  const std::set<std::string>& Callers(const std::string& fn) const;
+
+  /// Total directed edges (parallel callsites to the same callee count
+  /// once here; use Program::CallEdgeCount for callsite-level counts).
+  size_t EdgeCount() const;
+  size_t NodeCount() const { return callees_.size(); }
+
+  /// Functions in bottom-up order: every callee appears before each of
+  /// its callers. Recursion is handled by SCC condensation — functions
+  /// in the same SCC appear consecutively (in arbitrary inner order)
+  /// and the whole SCC is placed after everything it calls.
+  std::vector<std::string> BottomUpOrder() const;
+
+  /// SCC id per function (functions in a cycle share an id).
+  const std::map<std::string, int>& SccIds() const { return scc_id_; }
+
+ private:
+  std::map<std::string, std::set<std::string>> callees_;
+  std::map<std::string, std::set<std::string>> callers_;
+  std::map<std::string, int> scc_id_;
+  std::vector<std::vector<std::string>> sccs_;  // id -> members
+
+  void ComputeSccs();
+};
+
+}  // namespace dtaint

@@ -1,0 +1,5 @@
+#include "src/cfg/function.h"
+
+// Function is a plain aggregate; its behavior lives in cfg_builder.cpp.
+// This TU anchors the header for build hygiene.
+namespace dtaint {}

@@ -1,0 +1,55 @@
+// Function model: lifted basic blocks, CFG edges, and callsites.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ir/block.h"
+
+namespace dtaint {
+
+/// A call instruction inside a function.
+struct CallSite {
+  uint32_t block_addr = 0;   // block that ends with the call
+  uint32_t call_addr = 0;    // address of the BL/BLR instruction
+  uint32_t return_addr = 0;  // fallthrough address
+  bool is_indirect = false;
+  // Direct calls: resolved target.
+  uint32_t target_addr = 0;        // 0 for indirect
+  std::string target_name;         // function or import name; "" if unknown
+  bool target_is_import = false;
+  // Indirect calls: targets resolved later by structure similarity.
+  std::vector<std::string> resolved_targets;
+};
+
+/// One lifted, CFG-structured function.
+struct Function {
+  std::string name;
+  uint32_t addr = 0;
+  uint32_t size = 0;
+
+  /// Basic blocks keyed by start address.
+  std::map<uint32_t, IRBlock> blocks;
+  /// CFG edges: block start -> successor block starts.
+  std::map<uint32_t, std::vector<uint32_t>> succs;
+  std::map<uint32_t, std::vector<uint32_t>> preds;
+  /// Call sites in address order.
+  std::vector<CallSite> callsites;
+
+  size_t BlockCount() const { return blocks.size(); }
+  const IRBlock* BlockAt(uint32_t addr) const {
+    auto it = blocks.find(addr);
+    return it == blocks.end() ? nullptr : &it->second;
+  }
+  const CallSite* CallSiteAt(uint32_t call_addr) const {
+    for (const CallSite& cs : callsites) {
+      if (cs.call_addr == call_addr) return &cs;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace dtaint

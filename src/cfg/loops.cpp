@@ -1,0 +1,71 @@
+#include "src/cfg/loops.h"
+
+#include <algorithm>
+
+namespace dtaint {
+
+LoopInfo FindLoops(const Function& fn) {
+  LoopInfo info;
+  if (fn.blocks.empty()) return info;
+
+  // Iterative DFS keeping an on-stack marker to find retreating edges.
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<uint32_t, Color> color;
+  for (const auto& [addr, _] : fn.blocks) color[addr] = Color::kWhite;
+
+  struct Frame {
+    uint32_t node;
+    size_t next_succ = 0;
+  };
+  std::vector<Frame> stack;
+  auto push = [&](uint32_t node) {
+    color[node] = Color::kGray;
+    stack.push_back({node, 0});
+  };
+  push(fn.addr);
+  static const std::vector<uint32_t> kNoSuccs;
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    auto it = fn.succs.find(frame.node);
+    const std::vector<uint32_t>& succs =
+        it == fn.succs.end() ? kNoSuccs : it->second;
+    if (frame.next_succ < succs.size()) {
+      uint32_t succ = succs[frame.next_succ++];
+      auto cit = color.find(succ);
+      if (cit == color.end()) continue;  // edge to unknown block
+      if (cit->second == Color::kWhite) {
+        push(succ);
+      } else if (cit->second == Color::kGray) {
+        info.back_edges.emplace_back(frame.node, succ);
+      }
+    } else {
+      color[frame.node] = Color::kBlack;
+      stack.pop_back();
+    }
+  }
+
+  // Natural loop of back edge (tail -> header): header plus all blocks
+  // that reach tail without going through header (reverse flood fill).
+  for (const auto& [tail, header] : info.back_edges) {
+    std::set<uint32_t>& members = info.loops[header];
+    members.insert(header);
+    std::vector<uint32_t> work;
+    if (!members.count(tail)) {
+      members.insert(tail);
+      work.push_back(tail);
+    }
+    while (!work.empty()) {
+      uint32_t node = work.back();
+      work.pop_back();
+      auto pit = fn.preds.find(node);
+      if (pit == fn.preds.end()) continue;
+      for (uint32_t pred : pit->second) {
+        if (!fn.blocks.count(pred)) continue;
+        if (members.insert(pred).second) work.push_back(pred);
+      }
+    }
+  }
+  return info;
+}
+
+}  // namespace dtaint

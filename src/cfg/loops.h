@@ -1,0 +1,46 @@
+// Natural-loop detection over a function CFG.
+//
+// Used for two things from the paper:
+//  * the symbolic-analysis heuristic "blocks in the same loop are only
+//    analyzed once" (§III-B) — implemented as not following back edges;
+//  * "loop copy" sink detection (§IV Table I lists `loop` as a sink):
+//    a store inside a loop body whose address varies per iteration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/cfg/function.h"
+
+namespace dtaint {
+
+struct LoopInfo {
+  /// Back edges (tail -> header) found by DFS.
+  std::vector<std::pair<uint32_t, uint32_t>> back_edges;
+  /// Natural loop membership: header -> set of member block addrs.
+  std::map<uint32_t, std::set<uint32_t>> loops;
+
+  bool IsBackEdge(uint32_t from, uint32_t to) const {
+    for (const auto& [f, t] : back_edges) {
+      if (f == from && t == to) return true;
+    }
+    return false;
+  }
+  /// True if the block is inside any natural loop.
+  bool InAnyLoop(uint32_t block) const {
+    for (const auto& [_, members] : loops) {
+      if (members.count(block)) return true;
+    }
+    return false;
+  }
+};
+
+/// Computes back edges and natural loops of `fn` (entry = fn.addr).
+/// Back edges are DFS retreating edges to an ancestor on the DFS stack;
+/// each loop body is the set of blocks that reach the tail without
+/// passing through the header.
+LoopInfo FindLoops(const Function& fn);
+
+}  // namespace dtaint

@@ -1,0 +1,46 @@
+// Pointer-aliasing recognition — paper §III-C, Algorithm 1.
+//
+// The "move"-created alias (int *p = x; q = p) falls out of symbolic
+// analysis for free: both names evaluate to the same symbolic value.
+// The "store"-created alias is the interesting one:
+//
+//     int *p = x;  *(q+4) = p;   =>  *(*(q+4)) and *p alias
+//
+// i.e. whenever a definition pair says  deref(base1+off1) = base2+off2
+// with a pointer-typed right side, any location addressed through
+// base2 can equivalently be addressed through deref(base1+off1)-off2.
+// AliasReplace materializes those alternate names as extra definition
+// pairs so later def/use matching connects flows across both names.
+#pragma once
+
+#include <vector>
+
+#include "src/symexec/defpairs.h"
+
+namespace dtaint {
+
+/// One discovered alias fact: `alias_loc` (a deref expression) holds
+/// the pointer `base + offset`.
+struct AliasFact {
+  SymRef alias_loc;  // d: deref(base1+off1)
+  SymRef base;       // base2
+  int64_t offset;    // off2
+};
+
+struct AliasResult {
+  std::vector<AliasFact> facts;
+  /// Number of definition pairs added by replacement.
+  size_t pairs_added = 0;
+};
+
+/// Runs Algorithm 1 over a function summary *in place*: discovers alias
+/// facts from its definition pairs and appends replaced (new_d, u)
+/// pairs. `types` supplies the pointer-type evidence for `u`.
+AliasResult AliasReplace(FunctionSummary& summary);
+
+/// True when the value expression is known or strongly suspected to be
+/// a pointer: typed as one, or structurally rooted at the stack, a
+/// heap object, or a pointer-returning call.
+bool IsPointerValue(const SymRef& value, const TypeMap& types);
+
+}  // namespace dtaint

@@ -1,0 +1,124 @@
+#include "src/core/dtaint.h"
+
+#include <set>
+
+#include "src/util/strings.h"
+
+namespace dtaint {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+std::string Finding::Summary() const {
+  std::string out(VulnClassName(path.vuln_class));
+  out += ": " + path.source_name + " -> " + path.sink_name + " in " +
+         path.sink_function + " @" + HexStr(path.sink_site) + " (" +
+         std::to_string(path.hops.size()) + " hops)";
+  return out;
+}
+
+Result<AnalysisReport> DTaint::Analyze(const Binary& binary) const {
+  return AnalyzeFunctions(binary, {});
+}
+
+Result<AnalysisReport> DTaint::AnalyzeFunctions(
+    const Binary& binary, const std::vector<std::string>& only) const {
+  auto t_total = Clock::now();
+  AnalysisReport report;
+  report.binary_name = binary.soname;
+  report.arch = binary.arch;
+
+  // 1. Lift and structure the whole binary.
+  auto t_ssa = Clock::now();
+  CfgBuilder builder(binary);
+  auto program_or = builder.BuildProgram();
+  if (!program_or.ok()) return program_or.status();
+  Program program = std::move(*program_or);
+
+  report.functions = program.functions.size();
+  report.blocks = program.TotalBlocks();
+
+  // Optional focus filter: keep the named functions plus everything
+  // transitively reachable from them.
+  std::set<std::string> keep;
+  if (!only.empty()) {
+    // Seed + direct-call closure. Address-taken functions stay too:
+    // they are potential indirect-call targets, and dropping them
+    // would blind the structure-similarity resolution.
+    std::vector<std::string> work(only.begin(), only.end());
+    if (config_.enable_structsim) {
+      for (const std::string& name : AddressTakenFunctions(program)) {
+        work.push_back(name);
+      }
+    }
+    while (!work.empty()) {
+      std::string name = std::move(work.back());
+      work.pop_back();
+      if (!program.functions.count(name)) continue;
+      if (!keep.insert(name).second) continue;
+      for (const CallSite& cs : program.functions.at(name).callsites) {
+        if (!cs.is_indirect && !cs.target_is_import &&
+            !cs.target_name.empty()) {
+          work.push_back(cs.target_name);
+        }
+      }
+    }
+    for (auto it = program.functions.begin();
+         it != program.functions.end();) {
+      if (!keep.count(it->first)) {
+        program.fn_by_addr.erase(it->second.addr);
+        it = program.functions.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  report.analyzed_functions = program.functions.size();
+
+  // 2. Intraprocedural symbolic analysis, bottom-up; alias recognition.
+  SymEngine engine(binary, config_.engine);
+  InterprocConfig interproc_config = config_.interproc;
+  interproc_config.apply_alias = config_.enable_alias;
+
+  CallGraph graph = CallGraph::Build(program);
+  ProgramAnalysis analysis =
+      RunBottomUp(program, graph, engine, interproc_config);
+  report.ssa_seconds = SecondsSince(t_ssa);
+
+  // 3. Indirect-call resolution via structure-layout similarity, then
+  // re-link so flows cross the resolved edges.
+  auto t_ddg = Clock::now();
+  if (config_.enable_structsim) {
+    auto resolutions = ResolveIndirectCalls(program, analysis.summaries);
+    report.indirect_calls_resolved = resolutions.size();
+    if (!resolutions.empty()) {
+      CallGraph graph2 = CallGraph::Build(program);
+      analysis = RunBottomUp(program, graph2, engine, interproc_config);
+    }
+  }
+  report.interproc_stats = analysis.stats;
+  report.call_graph_edges = program.CallEdgeCount();
+
+  // 4. Sink-to-source path search + sanitization checks.
+  PathFinder finder(program, analysis, config_.pathfinder);
+  report.sink_count = finder.SinkCount();
+  std::vector<TaintPath> paths = finder.FindAll();
+  report.total_paths = paths.size();
+  std::vector<TaintPath> vulnerable = FilterVulnerable(paths);
+  report.vulnerable_paths = vulnerable.size();
+  for (TaintPath& path : vulnerable) {
+    report.findings.push_back({std::move(path)});
+  }
+  report.ddg_seconds = SecondsSince(t_ddg);
+  report.total_seconds = SecondsSince(t_total);
+  return report;
+}
+
+}  // namespace dtaint

@@ -1,0 +1,217 @@
+#include "src/core/interproc.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "src/core/alias.h"
+#include "src/util/hash.h"
+
+namespace dtaint {
+
+namespace {
+
+/// Replaces every formal-argument symbol arg_i occurring in `expr`
+/// with the i-th actual argument of the callsite (Algorithm 2's
+/// ReplaceFormalArgs). Unmapped formals stay as-is.
+SymRef ReplaceFormalArgs(const SymRef& expr,
+                         const std::vector<SymRef>& actual_args) {
+  SymRef result = expr;
+  for (int i = 0; i < kMaxModeledArgs; ++i) {
+    SymRef formal = SymExpr::Arg(i);
+    if (!result->Contains(formal)) continue;
+    if (i < static_cast<int>(actual_args.size()) && actual_args[i]) {
+      result = SymExpr::Replace(result, formal, actual_args[i]);
+    }
+  }
+  return result;
+}
+
+/// Re-keys Heap identities with the callsite: the callee's heap object
+/// hash is extended by the caller's callsite address, so two calls to
+/// the same allocating callee produce distinct objects (Listing 1's
+/// "hash value of the callsite chain").
+SymRef RehashHeap(const SymRef& expr, uint32_t callsite) {
+  if (expr->kind() == SymKind::kHeap) {
+    return SymExpr::Heap(HashCombine(expr->heap_id(), callsite));
+  }
+  if (!expr->lhs() && !expr->rhs()) return expr;
+  SymRef lhs = expr->lhs() ? RehashHeap(expr->lhs(), callsite) : nullptr;
+  SymRef rhs = expr->rhs() ? RehashHeap(expr->rhs(), callsite) : nullptr;
+  if (lhs.get() == expr->lhs().get() && rhs.get() == expr->rhs().get()) {
+    return expr;
+  }
+  if (expr->kind() == SymKind::kDeref) {
+    return SymExpr::Deref(lhs, expr->deref_size());
+  }
+  if (expr->kind() == SymKind::kBin) {
+    return SymExpr::Bin(expr->binop(), lhs, rhs);
+  }
+  return expr;
+}
+
+/// Picks the callee's representative return value: prefer a value that
+/// carries structure (argument passthrough, heap pointer, tainted
+/// expression) over opaque unknowns.
+SymRef RepresentativeReturn(const FunctionSummary& callee) {
+  SymRef best;
+  for (const SymRef& ret : callee.return_values) {
+    if (!ret) continue;
+    if (!best) best = ret;
+    switch (RootPointerOf(ret)->kind()) {
+      case SymKind::kArg:
+      case SymKind::kHeap:
+      case SymKind::kTaint:
+      case SymKind::kRet:
+        return ret;
+      default:
+        break;
+    }
+    if (ret->IsTainted()) return ret;
+  }
+  return best;
+}
+
+}  // namespace
+
+ProgramAnalysis RunBottomUp(const Program& program, const CallGraph& graph,
+                            const SymEngine& engine,
+                            const InterprocConfig& config) {
+  ProgramAnalysis analysis;
+  const std::vector<std::string> order = graph.BottomUpOrder();
+
+  // Phase 1: intraprocedural static symbolic analysis — exactly once
+  // per function. The analyses are independent of each other, so with
+  // num_threads > 1 they run on a worker pool; results land in a
+  // pre-sized slot vector so no synchronization beyond the work-index
+  // counter is needed.
+  std::vector<FunctionSummary> base(order.size());
+  int threads = std::max(1, config.num_threads);
+  if (threads == 1) {
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (const Function* fn = program.FindFunction(order[i])) {
+        base[i] = engine.Analyze(*fn);
+      }
+    }
+  } else {
+    std::atomic<size_t> next{0};
+    auto worker = [&] {
+      for (;;) {
+        size_t i = next.fetch_add(1);
+        if (i >= order.size()) return;
+        if (const Function* fn = program.FindFunction(order[i])) {
+          base[i] = engine.Analyze(*fn);
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Phase 2: linking, sequential in bottom-up order (each caller needs
+  // its callees' already-linked summaries).
+  for (size_t order_index = 0; order_index < order.size(); ++order_index) {
+    const std::string& name = order[order_index];
+    const Function* fn = program.FindFunction(name);
+    if (!fn) continue;
+
+    FunctionSummary summary = std::move(base[order_index]);
+
+    // Step 2: pointer-alias recognition (Algorithm 1).
+    if (config.apply_alias) {
+      AliasResult alias = AliasReplace(summary);
+      analysis.stats.alias_pairs_added += alias.pairs_added;
+    }
+
+    // Step 3: link against already-processed callees (Algorithm 2).
+    std::vector<DefPair> imported_defs;
+    std::vector<UseRecord> imported_uses;
+    for (const CallEvent& call : summary.calls) {
+      // Indirect calls may have several similarity-resolved targets.
+      std::vector<std::string> targets;
+      if (call.is_indirect) {
+        const CallSite* cs = fn->CallSiteAt(call.callsite);
+        if (cs) targets = cs->resolved_targets;
+      } else if (!call.is_import && !call.callee.empty()) {
+        targets.push_back(call.callee);
+      }
+      for (const std::string& target : targets) {
+        auto callee_it = analysis.summaries.find(target);
+        if (callee_it == analysis.summaries.end()) continue;  // SCC member
+        const FunctionSummary& callee = callee_it->second;
+
+        // -- ReplaceRetVariable: resolve ret_{cs} in the caller --------
+        SymRef ret_sym = SymExpr::Ret(call.callsite);
+        SymRef ret_value = RepresentativeReturn(callee);
+        if (ret_value) {
+          ret_value = ReplaceFormalArgs(ret_value, call.args);
+          ret_value = RehashHeap(ret_value, call.callsite);
+          for (DefPair& dp : summary.def_pairs) {
+            bool touched = false;
+            if (dp.d && dp.d->Contains(ret_sym)) {
+              dp.d = SymExpr::Replace(dp.d, ret_sym, ret_value);
+              touched = true;
+            }
+            if (dp.u && dp.u->Contains(ret_sym)) {
+              dp.u = SymExpr::Replace(dp.u, ret_sym, ret_value);
+              touched = true;
+            }
+            if (touched) ++analysis.stats.rets_replaced;
+          }
+          for (SymRef& rv : summary.return_values) {
+            if (rv && rv->Contains(ret_sym)) {
+              rv = SymExpr::Replace(rv, ret_sym, ret_value);
+              ++analysis.stats.rets_replaced;
+            }
+          }
+        }
+
+        // -- UpdateDefPairs: import callee's escaping definitions ------
+        size_t imported = 0;
+        for (const DefPair* dp : callee.EscapingDefs()) {
+          if (imported >= config.max_imported_per_callsite) break;
+          DefPair linked;
+          linked.d = ReplaceFormalArgs(dp->d, call.args);
+          linked.u = ReplaceFormalArgs(dp->u, call.args);
+          linked.d = RehashHeap(linked.d, call.callsite);
+          linked.u = RehashHeap(linked.u, call.callsite);
+          linked.site = dp->site;        // original defining site
+          linked.path_id = call.path_id; // caller's path context
+          imported_defs.push_back(std::move(linked));
+          ++imported;
+          ++analysis.stats.defs_propagated;
+        }
+
+        // -- ForwardUndefinedUse: lift unresolved uses into the caller -
+        size_t forwarded = 0;
+        for (const UseRecord& use : callee.undefined_uses) {
+          if (forwarded >= config.max_imported_per_callsite) break;
+          SymRef root = RootPointerOf(use.u);
+          if (!root || root->kind() != SymKind::kArg) continue;
+          UseRecord lifted;
+          lifted.u = ReplaceFormalArgs(use.u, call.args);
+          lifted.site = use.site;
+          lifted.path_id = call.path_id;
+          imported_uses.push_back(std::move(lifted));
+          ++forwarded;
+          ++analysis.stats.uses_forwarded;
+        }
+      }
+    }
+    summary.def_pairs.insert(summary.def_pairs.end(),
+                             std::make_move_iterator(imported_defs.begin()),
+                             std::make_move_iterator(imported_defs.end()));
+    summary.undefined_uses.insert(
+        summary.undefined_uses.end(),
+        std::make_move_iterator(imported_uses.begin()),
+        std::make_move_iterator(imported_uses.end()));
+
+    ++analysis.stats.functions_processed;
+    analysis.summaries.emplace(name, std::move(summary));
+  }
+  return analysis;
+}
+
+}  // namespace dtaint

@@ -1,0 +1,74 @@
+// Bottom-up interprocedural data flow — paper §III-E, Algorithm 2.
+//
+// The call graph is traversed in post-order (callees before callers;
+// recursion handled by SCC condensation), and each function's
+// intraprocedural summary is *linked* against its already-processed
+// callees:
+//
+//  * ret_{callsite} symbols are replaced by the callee's actual return
+//    value (ReplaceRetVariable); heap pointers returned by callees get
+//    their identity re-hashed with the callsite so distinct callsites
+//    yield distinct objects (Listing 1);
+//  * the callee's escaping definitions — (d, u) pairs reaching the
+//    exit whose root pointer is a formal argument or returned pointer
+//    — are rewritten formal->actual (ReplaceFormalArgs) and pushed
+//    into the caller's definition pairs (UpdateDefPairs);
+//  * the callee's undefined uses are likewise rewritten and forwarded
+//    to the caller (ForwardUndefinedUse).
+//
+// Every function's symbolic analysis runs exactly once; linking is a
+// cheap substitution pass. This is the structural reason DTaint's DDG
+// generation beats the top-down worklist baseline (paper Table VII).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/cfg/callgraph.h"
+#include "src/cfg/cfg_builder.h"
+#include "src/symexec/defpairs.h"
+#include "src/symexec/engine.h"
+
+namespace dtaint {
+
+struct InterprocConfig {
+  bool apply_alias = true;     // run Algorithm 1 on each summary
+  /// Cap on defs/uses imported per callsite (keeps linking linear on
+  /// pathological fan-in).
+  size_t max_imported_per_callsite = 256;
+  /// Worker threads for the intraprocedural phase. Per-function
+  /// symbolic analyses are independent (results are identical for any
+  /// thread count — tested), but the work is dominated by small
+  /// shared_ptr/map allocations, so with the default glibc allocator
+  /// extra threads contend and can run *slower* on the binaries in
+  /// this repo (see bench/scaling_size). Worth >1 only with an
+  /// arena/thread-caching allocator or far heavier per-function
+  /// budgets. 1 = sequential (default; matches the paper's prototype).
+  int num_threads = 1;
+};
+
+struct InterprocStats {
+  size_t functions_processed = 0;
+  size_t defs_propagated = 0;
+  size_t uses_forwarded = 0;
+  size_t rets_replaced = 0;
+  size_t alias_pairs_added = 0;
+};
+
+/// Whole-program analysis state after the bottom-up pass: per-function
+/// linked summaries (def pairs now include inherited callee effects).
+struct ProgramAnalysis {
+  std::map<std::string, FunctionSummary> summaries;
+  InterprocStats stats;
+};
+
+/// Runs intraprocedural symbolic analysis (once per function, in
+/// bottom-up call-graph order) and links summaries per Algorithm 2.
+/// `graph` must be built over `program` (with indirect calls resolved
+/// beforehand if structure-similarity resolution is enabled).
+ProgramAnalysis RunBottomUp(const Program& program, const CallGraph& graph,
+                            const SymEngine& engine,
+                            const InterprocConfig& config = {});
+
+}  // namespace dtaint

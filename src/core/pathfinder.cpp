@@ -1,0 +1,287 @@
+#include "src/core/pathfinder.h"
+
+#include <set>
+
+#include "src/cfg/loops.h"
+#include "src/util/strings.h"
+
+namespace dtaint {
+
+bool DefCoversUse(const SymRef& def_loc, const SymRef& use_expr) {
+  if (!def_loc || !use_expr) return false;
+  if (def_loc->kind() != SymKind::kDeref ||
+      use_expr->kind() != SymKind::kDeref) {
+    return false;
+  }
+  if (SymExpr::Equal(def_loc, use_expr)) return true;
+  auto def_split = SymExpr::SplitBaseOffset(def_loc->lhs());
+  auto use_split = SymExpr::SplitBaseOffset(use_expr->lhs());
+  const SymRef def_base = def_split.base ? def_split.base : def_loc->lhs();
+  const SymRef use_base = use_split.base ? use_split.base : use_expr->lhs();
+  if (!SymExpr::Equal(def_base, use_base)) return false;
+  // Same base: exact field match (sizes may differ: a byte view of a
+  // word field still reads the defined bytes).
+  return def_split.offset == use_split.offset;
+}
+
+namespace {
+
+/// True when the def defines an entire buffer region that the use reads
+/// a part of: def = deref(B) holding taint, use = deref(B + k). Source
+/// models write whole buffers this way (recv taints deref(buf)).
+bool RegionDefCoversUse(const SymRef& def_loc, const SymRef& def_val,
+                        const SymRef& use_expr) {
+  if (!def_loc || !def_val || !use_expr) return false;
+  if (!def_val->IsTainted()) return false;
+  if (def_loc->kind() != SymKind::kDeref ||
+      use_expr->kind() != SymKind::kDeref) {
+    return false;
+  }
+  auto def_split = SymExpr::SplitBaseOffset(def_loc->lhs());
+  auto use_split = SymExpr::SplitBaseOffset(use_expr->lhs());
+  SymRef def_base = def_split.base ? def_split.base : def_loc->lhs();
+  SymRef use_base = use_split.base ? use_split.base : use_expr->lhs();
+  // Array walks read buf+i: strip the symbolic index so the region
+  // base compares against the whole-buffer definition deref(buf).
+  def_base = StripIndex(def_base);
+  use_base = StripIndex(use_base);
+  return SymExpr::Equal(def_base, use_base);
+}
+
+class Tracer {
+ public:
+  Tracer(const Program& program, const ProgramAnalysis& analysis,
+         const PathFinderConfig& config, std::vector<TaintPath>& out)
+      : program_(program), analysis_(analysis), config_(config), out_(out) {
+    // Reverse call-event index: callee name -> (caller, event).
+    for (const auto& [caller, summary] : analysis_.summaries) {
+      const Function* fn = program_.FindFunction(caller);
+      for (const CallEvent& event : summary.calls) {
+        if (event.is_import) continue;
+        if (event.is_indirect) {
+          if (!fn) continue;
+          const CallSite* cs = fn->CallSiteAt(event.callsite);
+          if (!cs) continue;
+          for (const std::string& target : cs->resolved_targets) {
+            callers_of_[target].push_back({caller, &event});
+          }
+        } else if (!event.callee.empty()) {
+          callers_of_[event.callee].push_back({caller, &event});
+        }
+      }
+    }
+  }
+
+  /// Launches a trace for one sink occurrence.
+  void TraceSink(const std::string& fn, const TaintPath& seed,
+                 const std::vector<SymRef>& start_exprs) {
+    paths_found_for_sink_ = 0;
+    for (const SymRef& expr : start_exprs) {
+      if (paths_found_for_sink_ >= config_.max_paths_per_sink) break;
+      TaintPath path = seed;
+      std::set<std::pair<std::string, uint64_t>> visited;
+      Walk(fn, expr, path, visited, config_.max_depth);
+    }
+  }
+
+ private:
+  void Emit(TaintPath path, uint32_t taint_site,
+            const std::string& taint_source) {
+    path.source_name = taint_source;
+    path.source_site = taint_site;
+    auto key = std::make_tuple(path.sink_site, path.source_site,
+                               path.sink_name);
+    if (!emitted_.insert(key).second) return;
+    out_.push_back(std::move(path));
+    ++paths_found_for_sink_;
+  }
+
+  void Walk(const std::string& fn, const SymRef& expr, TaintPath& path,
+            std::set<std::pair<std::string, uint64_t>>& visited,
+            int depth) {
+    if (!expr || depth <= 0) return;
+    if (paths_found_for_sink_ >= config_.max_paths_per_sink) return;
+    if (!visited.insert({fn, expr->hash()}).second) return;
+    path.traced_exprs.push_back(expr);
+
+    // Found attacker data?
+    if (auto taint = expr->FindTaint()) {
+      Emit(path, taint->first, taint->second);
+      path.traced_exprs.pop_back();
+      return;
+    }
+
+    auto summary_it = analysis_.summaries.find(fn);
+    if (summary_it == analysis_.summaries.end()) {
+      path.traced_exprs.pop_back();
+      return;
+    }
+    const FunctionSummary& summary = summary_it->second;
+
+    // (a) Backward through definition pairs: any deref component of
+    // the expression may have been defined elsewhere in the function
+    // (or by a linked callee summary).
+    std::vector<SymRef> deref_parts;
+    SymExpr::CollectDerefs(expr, &deref_parts);
+    for (const SymRef& part : deref_parts) {
+      for (const DefPair& dp : summary.def_pairs) {
+        if (!dp.u || SymExpr::Equal(dp.u, expr)) continue;
+        bool covers = DefCoversUse(dp.d, part);
+        bool region = !covers && RegionDefCoversUse(dp.d, dp.u, part);
+        if (!covers && !region) continue;
+        path.hops.push_back(
+            {fn, dp.site, dp.d->ToString() + " = " + dp.u->ToString()});
+        // The defined value replaces the matched deref inside the
+        // expression; for region matches the taint covers the part.
+        SymRef next = region ? dp.u : SymExpr::Replace(expr, part, dp.u);
+        Walk(fn, next, path, visited, depth - 1);
+        path.hops.pop_back();
+        if (paths_found_for_sink_ >= config_.max_paths_per_sink) {
+          path.traced_exprs.pop_back();
+          return;
+        }
+      }
+    }
+
+    // (b) Into callers: a value rooted at a formal argument flows from
+    // every callsite's actual argument.
+    SymRef root = RootPointerOf(expr);
+    if (root && root->kind() == SymKind::kArg) {
+      auto callers_it = callers_of_.find(fn);
+      if (callers_it != callers_of_.end()) {
+        for (const auto& [caller, event] : callers_it->second) {
+          int idx = root->arg_index();
+          if (idx < 0 || idx >= static_cast<int>(event->args.size()) ||
+              !event->args[idx]) {
+            continue;
+          }
+          SymRef lifted =
+              SymExpr::Replace(expr, root, event->args[idx]);
+          path.hops.push_back(
+              {caller, event->callsite,
+               "via call to " + fn + " (" + root->ToString() + " = " +
+                   event->args[idx]->ToString() + ")"});
+          size_t constraints_before = path.constraints.size();
+          path.constraints.insert(path.constraints.end(),
+                                  event->constraints.begin(),
+                                  event->constraints.end());
+          Walk(caller, lifted, path, visited, depth - 1);
+          path.constraints.resize(constraints_before);
+          path.hops.pop_back();
+          if (paths_found_for_sink_ >= config_.max_paths_per_sink) {
+            path.traced_exprs.pop_back();
+            return;
+          }
+        }
+      }
+    }
+    path.traced_exprs.pop_back();
+  }
+
+  const Program& program_;
+  const ProgramAnalysis& analysis_;
+  const PathFinderConfig& config_;
+  std::vector<TaintPath>& out_;
+  std::map<std::string, std::vector<std::pair<std::string, const CallEvent*>>>
+      callers_of_;
+  std::set<std::tuple<uint32_t, uint32_t, std::string>> emitted_;
+  int paths_found_for_sink_ = 0;
+};
+
+}  // namespace
+
+size_t PathFinder::SinkCount() const {
+  size_t count = 0;
+  for (const auto& [_, summary] : analysis_.summaries) {
+    std::set<uint32_t> seen;
+    for (const CallEvent& event : summary.calls) {
+      if (event.is_import && FindSink(event.callee) &&
+          seen.insert(event.callsite).second) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<TaintPath> PathFinder::FindAll() const {
+  std::vector<TaintPath> paths;
+  Tracer tracer(program_, analysis_, config_, paths);
+
+  for (const auto& [fn_name, summary] : analysis_.summaries) {
+    // Library-call sinks.
+    std::set<uint32_t> seen_sites;
+    for (const CallEvent& event : summary.calls) {
+      if (!event.is_import) continue;
+      auto sink = FindSink(event.callee);
+      if (!sink) continue;
+      if (!seen_sites.insert(event.callsite).second) continue;
+      if (sink->tainted_param >= static_cast<int>(event.args.size())) {
+        continue;
+      }
+      const SymRef& arg = event.args[sink->tainted_param];
+      if (!arg) continue;
+
+      TaintPath seed;
+      seed.sink_function = fn_name;
+      seed.sink_site = event.callsite;
+      seed.sink_name = event.callee;
+      seed.vuln_class = sink->vuln_class;
+      seed.sink_arg = arg;
+      seed.constraints = event.constraints;
+      seed.hops.push_back({fn_name, event.callsite,
+                           "sink " + event.callee + "(" + arg->ToString() +
+                               ")"});
+      // Trace the argument value itself (tainted lengths / pointers to
+      // attacker buffers) and its pointee (tainted string contents).
+      std::vector<SymRef> starts{arg};
+      if (arg->kind() != SymKind::kConst) {
+        starts.push_back(SymExpr::Deref(arg));
+      }
+      tracer.TraceSink(fn_name, seed, starts);
+    }
+
+    // Loop-copy sinks: stores inside a natural loop whose address has
+    // a non-constant (per-iteration) component.
+    if (config_.detect_loop_copies) {
+      const Function* fn = program_.FindFunction(fn_name);
+      if (!fn) continue;
+      LoopInfo loops = FindLoops(*fn);
+      if (loops.loops.empty()) continue;
+      // Map def sites to blocks to test loop membership.
+      std::set<uint32_t> emitted_sites;
+      for (const DefPair& dp : summary.def_pairs) {
+        if (!dp.d || dp.d->kind() != SymKind::kDeref) continue;
+        // Address must vary per iteration: base+offset split leaves a
+        // symbolic, non-argument residue (e.g. deref(buf + idx)).
+        auto split = SymExpr::SplitBaseOffset(dp.d->lhs());
+        if (!split.base || split.base->kind() != SymKind::kBin) continue;
+        // Locate the block containing this site.
+        uint32_t block_addr = 0;
+        for (const auto& [addr, block] : fn->blocks) {
+          if (dp.site >= addr && dp.site < addr + block.size) {
+            block_addr = addr;
+            break;
+          }
+        }
+        if (!block_addr || !loops.InAnyLoop(block_addr)) continue;
+        if (!emitted_sites.insert(dp.site).second) continue;
+
+        TaintPath seed;
+        seed.sink_function = fn_name;
+        seed.sink_site = dp.site;
+        seed.sink_name = "loop";
+        seed.vuln_class = VulnClass::kBufferOverflow;
+        seed.sink_arg = dp.u;
+        seed.sink_store_addr = dp.d->lhs();
+        seed.constraints = dp.constraints;
+        seed.hops.push_back(
+            {fn_name, dp.site, "loop copy " + dp.d->ToString()});
+        tracer.TraceSink(fn_name, seed, {dp.u});
+      }
+    }
+  }
+  return paths;
+}
+
+}  // namespace dtaint

@@ -1,0 +1,31 @@
+// Sanitization constraint checking (paper §IV).
+//
+// A discovered sink-to-source path is only a vulnerability if the data
+// flows unchecked. Two constraint families are modeled:
+//  * buffer overflow: the path is safe if any path constraint bounds
+//    the tainted value from above ("n < 64", "n < y" with symbolic y,
+//    or the negation "!(n > 64)" on the fallthrough side);
+//  * command injection: the path is safe if any constraint compares a
+//    byte of the tainted command string against ';' (0x3B) — the
+//    semicolon filter the paper describes.
+#pragma once
+
+#include <vector>
+
+#include "src/core/pathfinder.h"
+
+namespace dtaint {
+
+/// Verdict for one path after constraint checking.
+struct SanitizationVerdict {
+  bool sanitized = false;
+  std::string reason;  // which constraint sanitized it, if any
+};
+
+/// Checks one traced path against its recorded constraints.
+SanitizationVerdict CheckSanitization(const TaintPath& path);
+
+/// Filters paths down to actual vulnerabilities (unsanitized paths).
+std::vector<TaintPath> FilterVulnerable(const std::vector<TaintPath>& paths);
+
+}  // namespace dtaint

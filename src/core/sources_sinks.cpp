@@ -1,0 +1,61 @@
+#include "src/core/sources_sinks.h"
+
+namespace dtaint {
+
+std::string_view VulnClassName(VulnClass cls) {
+  switch (cls) {
+    case VulnClass::kBufferOverflow:
+      return "Buffer Overflow";
+    case VulnClass::kCommandInjection:
+      return "Command Injection";
+  }
+  return "?";
+}
+
+const std::vector<SinkSpec>& AllSinks() {
+  static const std::vector<SinkSpec> kSinks = {
+      // Unbounded string copies: dangerous when the *source string* is
+      // attacker-controlled (param 1 for str*, param 2 for sprintf's
+      // first vararg).
+      {"strcpy", 1, VulnClass::kBufferOverflow},
+      {"strcat", 1, VulnClass::kBufferOverflow},
+      {"sprintf", 2, VulnClass::kBufferOverflow},
+      {"sscanf", 0, VulnClass::kBufferOverflow},
+      // Length-parameterized copies: dangerous when the *length* is
+      // attacker-controlled (Heartbleed shape).
+      {"memcpy", 2, VulnClass::kBufferOverflow},
+      {"strncpy", 2, VulnClass::kBufferOverflow},
+      // Command execution: dangerous when the command string is
+      // attacker-controlled and unfiltered.
+      {"system", 0, VulnClass::kCommandInjection},
+      {"popen", 0, VulnClass::kCommandInjection},
+      // Loop buffer copy (code pattern, not a call): the copied value
+      // is "param 0" of the pseudo-sink.
+      {"loop", 0, VulnClass::kBufferOverflow},
+  };
+  return kSinks;
+}
+
+std::optional<SinkSpec> FindSink(std::string_view name) {
+  for (const SinkSpec& sink : AllSinks()) {
+    if (sink.name == name) return sink;
+  }
+  return std::nullopt;
+}
+
+const std::vector<std::string>& AllSources() {
+  static const std::vector<std::string> kSources = {
+      "read",   "recv",  "recvfrom",   "recvmsg",
+      "getenv", "fgets", "websGetVar", "find_var",
+  };
+  return kSources;
+}
+
+bool IsSource(std::string_view name) {
+  for (const std::string& source : AllSources()) {
+    if (source == name) return true;
+  }
+  return false;
+}
+
+}  // namespace dtaint

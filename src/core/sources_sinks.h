@@ -1,0 +1,42 @@
+// Source/sink model (paper §IV, Table I).
+//
+// Sinks are the unsafe library calls plus the "loop copy" code
+// pattern; sources are the attacker-controlled input functions. Each
+// sink names which parameter must stay sanitized and what vulnerability
+// class an unsanitized path implies.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dtaint {
+
+enum class VulnClass : uint8_t {
+  kBufferOverflow,
+  kCommandInjection,
+};
+
+std::string_view VulnClassName(VulnClass cls);
+
+struct SinkSpec {
+  std::string name;      // library function, or "loop" for loop copies
+  int tainted_param;     // parameter index whose taint is dangerous
+  VulnClass vuln_class;
+};
+
+/// All modeled sinks (Table I: strcpy, strncpy, sprintf, memcpy,
+/// strcat, sscanf, system, popen, loop).
+const std::vector<SinkSpec>& AllSinks();
+
+/// Spec for a sink function, or nullopt.
+std::optional<SinkSpec> FindSink(std::string_view name);
+
+/// All modeled sources (Table I: read, recv, recvfrom, recvmsg,
+/// getenv, fgets, websGetVar, find_var).
+const std::vector<std::string>& AllSources();
+
+bool IsSource(std::string_view name);
+
+}  // namespace dtaint

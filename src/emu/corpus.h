@@ -1,0 +1,43 @@
+// Firmware-corpus model for the paper's empirical study (§II-A,
+// Figure 1): 6,529 images from 12 manufacturers, released 2009-2016.
+//
+// Each corpus entry carries the attributes that decide the fate of
+// real images in that study: whether the filesystem can be unpacked
+// (the paper reports >65% cannot), whether boot needs proprietary
+// peripherals or NVRAM, and whether network init succeeds under
+// emulation. Attribute probabilities are year-dependent (devices grew
+// more integrated and more vendor-locked over time), calibrated so the
+// aggregate matches the paper's headline numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace dtaint {
+
+struct CorpusEntry {
+  std::string vendor;
+  uint16_t year = 2012;
+  bool unpackable = true;          // filesystem extraction succeeds
+  bool needs_custom_peripheral = false;  // boot touches vendor hardware
+  bool needs_nvram = false;        // boot reads board NVRAM
+  bool network_init_ok = true;     // emulated NIC config succeeds
+};
+
+struct CorpusConfig {
+  int total_images = 6529;
+  uint16_t first_year = 2009;
+  uint16_t last_year = 2016;
+  uint64_t seed = 20180625;  // DSN'18 presentation day
+};
+
+/// Samples a synthetic corpus with year-dependent attribute rates.
+std::vector<CorpusEntry> GenerateCorpus(const CorpusConfig& config = {});
+
+/// Number of images per year (corpus grows over time, like Fig. 1).
+std::vector<int> ImagesPerYear(const CorpusConfig& config);
+
+}  // namespace dtaint

@@ -1,0 +1,46 @@
+#include "src/emu/firmadyne_sim.h"
+
+namespace dtaint {
+
+std::string_view EmulationOutcomeName(EmulationOutcome outcome) {
+  switch (outcome) {
+    case EmulationOutcome::kSuccess:
+      return "success";
+    case EmulationOutcome::kUnpackFailed:
+      return "unpack-failed";
+    case EmulationOutcome::kPeripheralFault:
+      return "peripheral-fault";
+    case EmulationOutcome::kNvramFault:
+      return "nvram-fault";
+    case EmulationOutcome::kNetworkInitFailed:
+      return "network-init-failed";
+  }
+  return "?";
+}
+
+EmulationOutcome AttemptEmulation(const CorpusEntry& entry) {
+  if (!entry.unpackable) return EmulationOutcome::kUnpackFailed;
+  if (entry.needs_custom_peripheral) {
+    return EmulationOutcome::kPeripheralFault;
+  }
+  if (entry.needs_nvram) return EmulationOutcome::kNvramFault;
+  if (!entry.network_init_ok) {
+    return EmulationOutcome::kNetworkInitFailed;
+  }
+  return EmulationOutcome::kSuccess;
+}
+
+std::map<uint16_t, YearTally> RunEmulationStudy(
+    const std::vector<CorpusEntry>& corpus) {
+  std::map<uint16_t, YearTally> tallies;
+  for (const CorpusEntry& entry : corpus) {
+    YearTally& tally = tallies[entry.year];
+    ++tally.total;
+    EmulationOutcome outcome = AttemptEmulation(entry);
+    ++tally.by_outcome[outcome];
+    if (outcome == EmulationOutcome::kSuccess) ++tally.emulated;
+  }
+  return tallies;
+}
+
+}  // namespace dtaint

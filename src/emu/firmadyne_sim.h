@@ -1,0 +1,43 @@
+// FIRMADYNE-like full-system emulation attempt (paper §II-A).
+//
+// The real study boots each image in FIRMADYNE's instrumented QEMU.
+// Our stand-in replays the same decision pipeline against the corpus
+// entry's attributes: unpack -> kernel boot (fails on proprietary
+// peripherals / missing NVRAM) -> network init. Only an image passing
+// all three counts as "successfully emulated", exactly the bar Fig. 1
+// uses.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/emu/corpus.h"
+
+namespace dtaint {
+
+enum class EmulationOutcome : uint8_t {
+  kSuccess = 0,
+  kUnpackFailed,
+  kPeripheralFault,   // boot touched custom/proprietary hardware
+  kNvramFault,        // board NVRAM unavailable in the emulator
+  kNetworkInitFailed, // functionality bar: services never came up
+};
+
+std::string_view EmulationOutcomeName(EmulationOutcome outcome);
+
+/// Attempts to "emulate" one corpus entry.
+EmulationOutcome AttemptEmulation(const CorpusEntry& entry);
+
+/// Per-year tallies backing Figure 1.
+struct YearTally {
+  int total = 0;
+  int emulated = 0;
+  std::map<EmulationOutcome, int> by_outcome;
+};
+
+/// Runs the whole corpus; returns year -> tally.
+std::map<uint16_t, YearTally> RunEmulationStudy(
+    const std::vector<CorpusEntry>& corpus);
+
+}  // namespace dtaint

@@ -1,0 +1,36 @@
+// FirmwareExtractor — the repo's Binwalk stand-in.
+//
+// Scans a blob for the DTFW magic (images may be wrapped in vendor
+// headers / padding), parses the filesystem, undoes recoverable
+// packing (plain, xor), verifies the payload checksum, and returns the
+// unpacked FirmwareImage plus the list of executable candidates.
+// Encrypted/unknown packings fail with a descriptive status, modeling
+// the >65% unpack-failure rate reported in the paper (§VI).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/firmware/image.h"
+#include "src/util/status.h"
+
+namespace dtaint {
+
+struct ExtractionResult {
+  FirmwareImage image;
+  /// Paths of files that look like DTBIN executables, in rootfs order.
+  std::vector<std::string> executable_paths;
+};
+
+class FirmwareExtractor {
+ public:
+  /// Extracts the first firmware image found in `blob`.
+  static Result<ExtractionResult> Extract(std::span<const uint8_t> blob);
+
+  /// Finds the offset of the DTFW magic, scanning like binwalk does.
+  static std::optional<size_t> FindMagic(std::span<const uint8_t> blob);
+};
+
+}  // namespace dtaint

@@ -1,0 +1,36 @@
+#include "src/firmware/image.h"
+
+namespace dtaint {
+
+std::string_view PackingName(Packing packing) {
+  switch (packing) {
+    case Packing::kPlain:
+      return "plain";
+    case Packing::kXor:
+      return "xor";
+    case Packing::kEncrypted:
+      return "encrypted";
+    case Packing::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+const FirmwareFile* FirmwareImage::FindFile(std::string_view path) const {
+  for (const FirmwareFile& f : files) {
+    if (f.path == path) return &f;
+  }
+  return nullptr;
+}
+
+std::string FirmwareImage::Label() const {
+  return vendor + " " + product + "_" + version;
+}
+
+uint64_t FirmwareImage::TotalBytes() const {
+  uint64_t total = 0;
+  for (const FirmwareFile& f : files) total += f.bytes.size();
+  return total;
+}
+
+}  // namespace dtaint

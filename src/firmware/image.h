@@ -1,0 +1,55 @@
+// Firmware image model — the repo's stand-in for vendor firmware blobs.
+//
+// A firmware image is a header plus a flat root-filesystem table
+// (path -> payload). Images carry vendor metadata (vendor, product,
+// version, release year, architecture) mirroring what the paper's
+// crawler scraped from vendor sites, and "packing" attributes that
+// model why real images resist unpacking (vendor encryption, unknown
+// compression) — the paper reports >65% of images failed to unpack.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/isa/regs.h"
+#include "src/util/status.h"
+
+namespace dtaint {
+
+/// How an image's payload is packed. Only kPlain and kXor are
+/// extractable by our binwalk-like tool; the others simulate vendor
+/// encryption / proprietary compression.
+enum class Packing : uint8_t {
+  kPlain = 0,
+  kXor = 1,        // trivially obfuscated, extractor can undo it
+  kEncrypted = 2,  // extraction fails (no key)
+  kUnknown = 3,    // unrecognized format, extraction fails
+};
+
+std::string_view PackingName(Packing packing);
+
+struct FirmwareFile {
+  std::string path;  // e.g. "/bin/cgibin", "/etc/passwd"
+  std::vector<uint8_t> bytes;
+};
+
+/// In-memory firmware image (pre-packing).
+struct FirmwareImage {
+  std::string vendor;        // "D-Link", "Netgear", ...
+  std::string product;       // "DIR-645"
+  std::string version;       // "1.03"
+  uint16_t release_year = 2014;
+  Arch arch = Arch::kDtArm;
+  Packing packing = Packing::kPlain;
+  std::vector<FirmwareFile> files;
+
+  const FirmwareFile* FindFile(std::string_view path) const;
+  /// Display label "Vendor Product_Version".
+  std::string Label() const;
+  /// Total payload size in bytes.
+  uint64_t TotalBytes() const;
+};
+
+}  // namespace dtaint

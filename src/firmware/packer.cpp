@@ -1,0 +1,75 @@
+#include "src/firmware/packer.h"
+
+#include "src/util/hash.h"
+
+namespace dtaint {
+
+namespace {
+
+void PutU16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  PutU16(out, static_cast<uint16_t>(v));
+  PutU16(out, static_cast<uint16_t>(v >> 16));
+}
+void PutU64(std::vector<uint8_t>& out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+void PutStr(std::vector<uint8_t>& out, const std::string& s) {
+  PutU16(out, static_cast<uint16_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+}  // namespace
+
+std::vector<uint8_t> FirmwarePacker::Pack(const FirmwareImage& image) {
+  // Build the filesystem payload first.
+  std::vector<uint8_t> fs;
+  PutU32(fs, static_cast<uint32_t>(image.files.size()));
+  for (const FirmwareFile& f : image.files) {
+    PutStr(fs, f.path);
+    PutU32(fs, static_cast<uint32_t>(f.bytes.size()));
+    fs.insert(fs.end(), f.bytes.begin(), f.bytes.end());
+  }
+  uint64_t fs_checksum = Fnv1a(std::span<const uint8_t>(fs.data(), fs.size()));
+
+  // Apply packing transform.
+  switch (image.packing) {
+    case Packing::kPlain:
+      break;
+    case Packing::kXor:
+      for (uint8_t& b : fs) b ^= kXorKey;
+      break;
+    case Packing::kEncrypted:
+    case Packing::kUnknown: {
+      // Irrecoverable keystream derived from the payload itself;
+      // extraction without the vendor key is impossible by design.
+      uint64_t key = HashCombine(fs_checksum, 0xDEADBEEFCAFEF00DULL);
+      for (size_t i = 0; i < fs.size(); ++i) {
+        key = key * 6364136223846793005ULL + 1442695040888963407ULL;
+        fs[i] ^= static_cast<uint8_t>(key >> 33);
+      }
+      break;
+    }
+  }
+
+  std::vector<uint8_t> out;
+  out.insert(out.end(), kFwMagic, kFwMagic + 4);
+  out.push_back(1);  // format version
+  out.push_back(static_cast<uint8_t>(image.packing));
+  out.push_back(static_cast<uint8_t>(image.arch));
+  out.push_back(0);  // reserved
+  PutStr(out, image.vendor);
+  PutStr(out, image.product);
+  PutStr(out, image.version);
+  PutU16(out, image.release_year);
+  PutU64(out, fs_checksum);
+  PutU32(out, static_cast<uint32_t>(fs.size()));
+  out.insert(out.end(), fs.begin(), fs.end());
+  return out;
+}
+
+}  // namespace dtaint

@@ -1,0 +1,27 @@
+// FirmwarePacker: serializes a FirmwareImage into a distributable blob
+// ("what the vendor website ships"), applying the image's packing mode.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/firmware/image.h"
+#include "src/util/status.h"
+
+namespace dtaint {
+
+/// Magic at the start of every packed image ("what binwalk scans for").
+inline constexpr uint8_t kFwMagic[4] = {'D', 'T', 'F', 'W'};
+/// XOR key used by Packing::kXor vendors.
+inline constexpr uint8_t kXorKey = 0x5A;
+
+class FirmwarePacker {
+ public:
+  /// Packs an image into its on-the-wire blob. kEncrypted/kUnknown
+  /// payloads are scrambled irrecoverably (keyed by image hash), so a
+  /// correct extractor must fail on them — matching real life.
+  static std::vector<uint8_t> Pack(const FirmwareImage& image);
+};
+
+}  // namespace dtaint

@@ -1,0 +1,28 @@
+// IRBlock — the lifted form of one basic block (VEX "IRSB").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ir/stmt.h"
+
+namespace dtaint {
+
+struct IRBlock {
+  uint32_t addr = 0;             // guest address of the first insn
+  uint32_t size = 0;             // bytes of guest code covered
+  std::vector<Stmt> stmts;
+  int next_tmp = 0;              // number of temporaries used
+
+  JumpKind jumpkind = JumpKind::kBoring;
+  ExprRef next;                  // where control goes (const or tmp)
+  uint32_t return_addr = 0;      // for calls: the fallthrough address
+
+  /// Address one past the last guest instruction.
+  uint32_t EndAddr() const { return addr + size; }
+
+  std::string ToString() const;
+};
+
+}  // namespace dtaint

@@ -1,0 +1,32 @@
+#include "src/ir/printer.h"
+
+#include "src/isa/decode.h"
+#include "src/util/strings.h"
+
+namespace dtaint {
+
+std::string PrintBlockWithDisasm(const Binary& binary,
+                                 const IRBlock& block) {
+  std::string out;
+  for (const Stmt& s : block.stmts) {
+    if (s.kind == StmtKind::kIMark) {
+      auto word = binary.ReadWordAt(s.addr);
+      out += HexStr(s.addr) + ": ";
+      if (word.ok()) {
+        auto insn = Decode(*word);
+        out += insn.ok() ? insn->ToString(binary.arch) : "<bad insn>";
+      } else {
+        out += "<unmapped>";
+      }
+      out += "\n";
+    } else {
+      out += "    " + s.ToString() + "\n";
+    }
+  }
+  out += "    NEXT(" + std::string(JumpKindName(block.jumpkind)) + "): ";
+  out += block.next ? block.next->ToString() : std::string("<none>");
+  out += "\n";
+  return out;
+}
+
+}  // namespace dtaint

@@ -1,0 +1,57 @@
+#include "src/isa/decode.h"
+
+namespace dtaint {
+
+namespace {
+
+bool IsKnownOp(uint8_t raw) {
+  return raw >= static_cast<uint8_t>(Op::kMovR) &&
+         raw <= static_cast<uint8_t>(Op::kSvc);
+}
+
+int32_t SignExtend16(uint32_t v) {
+  return static_cast<int32_t>(static_cast<int16_t>(v & 0xFFFF));
+}
+
+int32_t SignExtend24(uint32_t v) {
+  v &= 0xFFFFFF;
+  if (v & 0x800000) v |= 0xFF000000;
+  return static_cast<int32_t>(v);
+}
+
+}  // namespace
+
+bool IsValidOpcode(uint32_t word) {
+  return IsKnownOp(static_cast<uint8_t>(word >> 24));
+}
+
+Result<Insn> Decode(uint32_t word) {
+  uint8_t raw = static_cast<uint8_t>(word >> 24);
+  if (!IsKnownOp(raw)) {
+    return CorruptData("unknown opcode byte " + std::to_string(raw));
+  }
+  Insn insn;
+  insn.op = static_cast<Op>(raw);
+  switch (FormatOf(insn.op)) {
+    case OpFormat::kR:
+      insn.rd = (word >> 20) & 0xF;
+      insn.rn = (word >> 16) & 0xF;
+      insn.rm = (word >> 12) & 0xF;
+      break;
+    case OpFormat::kI:
+      insn.rd = (word >> 20) & 0xF;
+      insn.rn = (word >> 16) & 0xF;
+      insn.imm = insn.op == Op::kMovHi
+                     ? static_cast<int32_t>(word & 0xFFFF)
+                     : SignExtend16(word);
+      break;
+    case OpFormat::kB:
+      insn.imm = SignExtend24(word);
+      break;
+    case OpFormat::kNone:
+      break;
+  }
+  return insn;
+}
+
+}  // namespace dtaint

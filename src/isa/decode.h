@@ -1,0 +1,18 @@
+// Instruction decoding: 32-bit word -> Insn.
+#pragma once
+
+#include <cstdint>
+
+#include "src/isa/insn.h"
+#include "src/util/status.h"
+
+namespace dtaint {
+
+/// Decodes a 32-bit instruction word. Fails on unknown opcodes, which
+/// function discovery treats as "not code" (data in .text, padding).
+Result<Insn> Decode(uint32_t word);
+
+/// True if the opcode byte of `word` names a valid DT-RISC opcode.
+bool IsValidOpcode(uint32_t word);
+
+}  // namespace dtaint

@@ -1,0 +1,46 @@
+#include "src/isa/encode.h"
+
+namespace dtaint {
+
+Result<uint32_t> Encode(const Insn& insn) {
+  if (insn.rd >= kNumRegs || insn.rn >= kNumRegs || insn.rm >= kNumRegs) {
+    return InvalidArgument("register index out of range");
+  }
+  uint32_t word = static_cast<uint32_t>(insn.op) << 24;
+  switch (FormatOf(insn.op)) {
+    case OpFormat::kR:
+      word |= uint32_t{insn.rd} << 20;
+      word |= uint32_t{insn.rn} << 16;
+      word |= uint32_t{insn.rm} << 12;
+      return word;
+    case OpFormat::kI:
+      if (insn.op == Op::kMovHi) {
+        // MovHi's immediate is an unsigned 16-bit pattern.
+        if (insn.imm < 0 || insn.imm > 0xFFFF) {
+          return InvalidArgument("movhi immediate out of range");
+        }
+      } else if (insn.imm < kImm16Min || insn.imm > kImm16Max) {
+        return InvalidArgument("imm16 out of range: " +
+                               std::to_string(insn.imm));
+      }
+      word |= uint32_t{insn.rd} << 20;
+      word |= uint32_t{insn.rn} << 16;
+      word |= static_cast<uint32_t>(insn.imm) & 0xFFFF;
+      return word;
+    case OpFormat::kB:
+      if (insn.imm < kImm24Min || insn.imm > kImm24Max) {
+        return InvalidArgument("imm24 out of range: " +
+                               std::to_string(insn.imm));
+      }
+      word |= static_cast<uint32_t>(insn.imm) & 0xFFFFFF;
+      return word;
+    case OpFormat::kNone:
+      if (insn.op == Op::kInvalid) {
+        return InvalidArgument("cannot encode invalid opcode");
+      }
+      return word;
+  }
+  return Internal("unreachable");
+}
+
+}  // namespace dtaint

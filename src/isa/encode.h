@@ -1,0 +1,21 @@
+// Instruction encoding: Insn -> 32-bit word.
+#pragma once
+
+#include <cstdint>
+
+#include "src/isa/insn.h"
+#include "src/util/status.h"
+
+namespace dtaint {
+
+/// Encodes an instruction into its 32-bit word. Fails on out-of-range
+/// fields (immediates beyond 16/24 bits, register indices >= 16).
+Result<uint32_t> Encode(const Insn& insn);
+
+/// Range limits for encodable immediates.
+inline constexpr int32_t kImm16Min = -32768;
+inline constexpr int32_t kImm16Max = 32767;
+inline constexpr int32_t kImm24Min = -(1 << 23);
+inline constexpr int32_t kImm24Max = (1 << 23) - 1;
+
+}  // namespace dtaint

@@ -1,0 +1,186 @@
+#include "src/isa/insn.h"
+
+#include "src/util/strings.h"
+
+namespace dtaint {
+
+OpFormat FormatOf(Op op) {
+  switch (op) {
+    case Op::kMovR:
+    case Op::kAddR:
+    case Op::kSubR:
+    case Op::kMulR:
+    case Op::kAndR:
+    case Op::kOrrR:
+    case Op::kXorR:
+    case Op::kLdrWR:
+    case Op::kStrWR:
+    case Op::kLdrBR:
+    case Op::kStrBR:
+    case Op::kCmpR:
+    case Op::kBlr:
+      return OpFormat::kR;
+    case Op::kMovI:
+    case Op::kMovHi:
+    case Op::kAddI:
+    case Op::kSubI:
+    case Op::kAndI:
+    case Op::kOrrI:
+    case Op::kXorI:
+    case Op::kLslI:
+    case Op::kLsrI:
+    case Op::kLdrW:
+    case Op::kStrW:
+    case Op::kLdrB:
+    case Op::kStrB:
+    case Op::kCmpI:
+    case Op::kSvc:
+      return OpFormat::kI;
+    case Op::kB:
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+    case Op::kBle:
+    case Op::kBgt:
+    case Op::kBl:
+      return OpFormat::kB;
+    case Op::kRet:
+    case Op::kNop:
+      return OpFormat::kNone;
+    case Op::kInvalid:
+      return OpFormat::kNone;
+  }
+  return OpFormat::kNone;
+}
+
+std::string_view OpName(Op op) {
+  switch (op) {
+    case Op::kInvalid: return "<invalid>";
+    case Op::kMovR: return "mov";
+    case Op::kMovI: return "mov";
+    case Op::kMovHi: return "movhi";
+    case Op::kAddR: return "add";
+    case Op::kAddI: return "add";
+    case Op::kSubR: return "sub";
+    case Op::kSubI: return "sub";
+    case Op::kMulR: return "mul";
+    case Op::kAndR: return "and";
+    case Op::kAndI: return "and";
+    case Op::kOrrR: return "orr";
+    case Op::kOrrI: return "orr";
+    case Op::kXorR: return "xor";
+    case Op::kXorI: return "xor";
+    case Op::kLslI: return "lsl";
+    case Op::kLsrI: return "lsr";
+    case Op::kLdrW: return "ldr";
+    case Op::kStrW: return "str";
+    case Op::kLdrB: return "ldrb";
+    case Op::kStrB: return "strb";
+    case Op::kLdrWR: return "ldr";
+    case Op::kStrWR: return "str";
+    case Op::kLdrBR: return "ldrb";
+    case Op::kStrBR: return "strb";
+    case Op::kCmpR: return "cmp";
+    case Op::kCmpI: return "cmp";
+    case Op::kB: return "b";
+    case Op::kBeq: return "beq";
+    case Op::kBne: return "bne";
+    case Op::kBlt: return "blt";
+    case Op::kBge: return "bge";
+    case Op::kBle: return "ble";
+    case Op::kBgt: return "bgt";
+    case Op::kBl: return "bl";
+    case Op::kBlr: return "blr";
+    case Op::kRet: return "ret";
+    case Op::kNop: return "nop";
+    case Op::kSvc: return "svc";
+  }
+  return "?";
+}
+
+bool IsBlockTerminator(Op op) {
+  switch (op) {
+    case Op::kB:
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+    case Op::kBle:
+    case Op::kBgt:
+    case Op::kRet:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsCondBranch(Op op) {
+  return op >= Op::kBeq && op <= Op::kBgt;
+}
+
+std::string Insn::ToString(Arch arch) const {
+  auto r = [&](int reg) { return RegName(arch, reg); };
+  std::string name(OpName(op));
+  switch (op) {
+    case Op::kMovR:
+      return name + " " + r(rd) + ", " + r(rm);
+    case Op::kMovI:
+      return name + " " + r(rd) + ", #" + std::to_string(imm);
+    case Op::kMovHi:
+      return name + " " + r(rd) + ", #" + HexStr(uint32_t(imm) & 0xFFFF);
+    case Op::kAddR:
+    case Op::kSubR:
+    case Op::kMulR:
+    case Op::kAndR:
+    case Op::kOrrR:
+    case Op::kXorR:
+      return name + " " + r(rd) + ", " + r(rn) + ", " + r(rm);
+    case Op::kAddI:
+    case Op::kSubI:
+    case Op::kAndI:
+    case Op::kOrrI:
+    case Op::kXorI:
+    case Op::kLslI:
+    case Op::kLsrI:
+      return name + " " + r(rd) + ", " + r(rn) + ", #" +
+             std::to_string(imm);
+    case Op::kLdrW:
+    case Op::kLdrB:
+    case Op::kStrW:
+    case Op::kStrB:
+      return name + " " + r(rd) + ", [" + r(rn) + ", #" +
+             std::to_string(imm) + "]";
+    case Op::kLdrWR:
+    case Op::kLdrBR:
+    case Op::kStrWR:
+    case Op::kStrBR:
+      return name + " " + r(rd) + ", [" + r(rn) + ", " + r(rm) + "]";
+    case Op::kCmpR:
+      return name + " " + r(rn) + ", " + r(rm);
+    case Op::kCmpI:
+      return name + " " + r(rn) + ", #" + std::to_string(imm);
+    case Op::kB:
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBlt:
+    case Op::kBge:
+    case Op::kBle:
+    case Op::kBgt:
+    case Op::kBl:
+      return name + " #" + (imm >= 0 ? "+" : "") +
+             std::to_string(imm * 4);
+    case Op::kBlr:
+      return name + " " + r(rm);
+    case Op::kRet:
+    case Op::kNop:
+      return name;
+    case Op::kSvc:
+      return name + " #" + std::to_string(imm);
+    case Op::kInvalid:
+      return name;
+  }
+  return name;
+}
+
+}  // namespace dtaint

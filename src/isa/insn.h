@@ -1,0 +1,97 @@
+// DT-RISC instruction model.
+//
+// Fixed 32-bit instruction words. Field layout by format:
+//   R-type:  op[31:24] rd[23:20] rn[19:16] rm[15:12] (low 12 bits zero)
+//   I-type:  op[31:24] rd[23:20] rn[19:16] imm16[15:0]   (signed)
+//   B-type:  op[31:24] imm24[23:0]                        (signed words)
+//
+// Loads/stores use the I-type layout with rd = transfer register and
+// rn = base register — exactly the "base + offset" addressing DTaint's
+// variable description relies on (paper §III-B).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/isa/regs.h"
+
+namespace dtaint {
+
+enum class Op : uint8_t {
+  kInvalid = 0x00,
+  // Data movement.
+  kMovR = 0x01,   // rd = rm                        (R)
+  kMovI = 0x02,   // rd = sext(imm16)               (I, rn unused)
+  kMovHi = 0x03,  // rd = (rd & 0xFFFF) | imm<<16   (I, rn unused)
+  // ALU, register and immediate forms.
+  kAddR = 0x04,  // rd = rn + rm
+  kAddI = 0x05,  // rd = rn + sext(imm16)
+  kSubR = 0x06,
+  kSubI = 0x07,
+  kMulR = 0x08,
+  kAndR = 0x09,
+  kAndI = 0x0A,
+  kOrrR = 0x0B,
+  kOrrI = 0x0C,
+  kXorR = 0x0D,
+  kXorI = 0x0E,
+  kLslI = 0x0F,  // rd = rn << imm
+  kLsrI = 0x10,  // rd = rn >> imm (logical)
+  // Memory. rd = transfer reg, rn = base, imm16 = signed offset.
+  kLdrW = 0x11,  // rd = mem32[rn + imm]
+  kStrW = 0x12,  // mem32[rn + imm] = rd
+  kLdrB = 0x13,  // rd = zext(mem8[rn + imm])
+  kStrB = 0x14,  // mem8[rn + imm] = rd & 0xFF
+  // Register-indexed memory (array walks / loop copies).
+  kLdrWR = 0x15,  // rd = mem32[rn + rm]
+  kStrWR = 0x16,  // mem32[rn + rm] = rd
+  kLdrBR = 0x17,  // rd = zext(mem8[rn + rm])
+  kStrBR = 0x18,  // mem8[rn + rm] = rd & 0xFF
+  // Compare (sets flags used by conditional branches).
+  kCmpR = 0x19,  // flags = rn ? rm
+  kCmpI = 0x1A,  // flags = rn ? sext(imm16)
+  // Control flow. Branch offsets are in words, relative to the *next*
+  // instruction (pc + 4).
+  kB = 0x1B,    // unconditional
+  kBeq = 0x1C,
+  kBne = 0x1D,
+  kBlt = 0x1E,
+  kBge = 0x1F,
+  kBle = 0x20,
+  kBgt = 0x21,
+  kBl = 0x22,   // call: lr = pc + 4; pc += off     (B)
+  kBlr = 0x23,  // indirect call: lr = pc+4; pc = rm (R, rm only)
+  kRet = 0x24,  // pc = lr                           (R, no fields)
+  kNop = 0x25,
+  kSvc = 0x26,  // system call, imm16 = number       (I)
+};
+
+/// Static classification of an opcode's encoding format.
+enum class OpFormat : uint8_t { kR, kI, kB, kNone };
+
+OpFormat FormatOf(Op op);
+std::string_view OpName(Op op);
+
+/// True for opcodes that terminate a basic block.
+bool IsBlockTerminator(Op op);
+/// True for conditional branches (kBeq..kBgt).
+bool IsCondBranch(Op op);
+
+/// A decoded instruction. Fields not used by the format are zero.
+struct Insn {
+  Op op = Op::kInvalid;
+  uint8_t rd = 0;
+  uint8_t rn = 0;
+  uint8_t rm = 0;
+  int32_t imm = 0;  // sign-extended imm16 (I) or imm24 words (B)
+
+  bool operator==(const Insn& other) const = default;
+
+  /// Disassembly, e.g. "ldr r1, [r5, #0x4c]" or "bl #+12".
+  std::string ToString(Arch arch) const;
+};
+
+/// Size of every DT-RISC instruction in bytes.
+inline constexpr uint32_t kInsnSize = 4;
+
+}  // namespace dtaint

@@ -1,0 +1,60 @@
+#include "src/isa/regs.h"
+
+#include <cassert>
+
+namespace dtaint {
+
+std::string_view ArchName(Arch arch) {
+  switch (arch) {
+    case Arch::kDtArm:
+      return "ARM";
+    case Arch::kDtMips:
+      return "MIPS";
+  }
+  return "?";
+}
+
+const CallingConvention& ConventionFor(Arch arch) {
+  static const CallingConvention kArm{Arch::kDtArm, {0, 1, 2, 3}, 0};
+  static const CallingConvention kMips{Arch::kDtMips, {4, 5, 6, 7}, 2};
+  return arch == Arch::kDtArm ? kArm : kMips;
+}
+
+std::string RegName(Arch arch, int r) {
+  assert(r >= 0 && r < kNumRegs);
+  if (r == kRegSp) return "sp";
+  if (r == kRegLr) return "lr";
+  if (r == kRegPc) return "pc";
+  if (arch == Arch::kDtMips) {
+    if (r >= 4 && r <= 7) return "a" + std::to_string(r - 4);
+    if (r == 2) return "v0";
+  }
+  return "r" + std::to_string(r);
+}
+
+bool IsBigEndian(Arch arch) { return arch == Arch::kDtMips; }
+
+uint32_t ReadWord(Arch arch, const uint8_t* p) {
+  if (IsBigEndian(arch)) {
+    return (uint32_t{p[0]} << 24) | (uint32_t{p[1]} << 16) |
+           (uint32_t{p[2]} << 8) | uint32_t{p[3]};
+  }
+  return uint32_t{p[0]} | (uint32_t{p[1]} << 8) | (uint32_t{p[2]} << 16) |
+         (uint32_t{p[3]} << 24);
+}
+
+void WriteWord(Arch arch, uint8_t* p, uint32_t v) {
+  if (IsBigEndian(arch)) {
+    p[0] = static_cast<uint8_t>(v >> 24);
+    p[1] = static_cast<uint8_t>(v >> 16);
+    p[2] = static_cast<uint8_t>(v >> 8);
+    p[3] = static_cast<uint8_t>(v);
+  } else {
+    p[0] = static_cast<uint8_t>(v);
+    p[1] = static_cast<uint8_t>(v >> 8);
+    p[2] = static_cast<uint8_t>(v >> 16);
+    p[3] = static_cast<uint8_t>(v >> 24);
+  }
+}
+
+}  // namespace dtaint

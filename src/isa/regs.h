@@ -1,0 +1,76 @@
+// Register model and calling conventions for the DT-RISC instruction set.
+//
+// DT-RISC is the repo's stand-in for the ARM/MIPS cores found in real
+// firmware (see DESIGN.md, substitutions). It has 16 general registers
+// and comes in two flavors that differ exactly where DTaint's analysis
+// cares:
+//   * dtarm  — little-endian; arguments in r0..r3, return in r0,
+//              link register r14 (mirrors ARM EABI, paper §III-B).
+//   * dtmips — big-endian; arguments in r4..r7, return in r2,
+//              link register r14 (mirrors MIPS o32).
+// Both pass excess arguments on the stack (sp = r13), stack grows down.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dtaint {
+
+/// Architecture flavor of a binary. Decides endianness, calling
+/// convention and register display names.
+enum class Arch : uint8_t {
+  kDtArm = 0,   // little-endian, ARM-like conventions
+  kDtMips = 1,  // big-endian, MIPS-like conventions
+};
+
+std::string_view ArchName(Arch arch);
+
+/// Register indices shared by both flavors.
+inline constexpr int kNumRegs = 16;
+inline constexpr int kRegSp = 13;  // stack pointer
+inline constexpr int kRegLr = 14;  // link register
+inline constexpr int kRegPc = 15;  // program counter (not writable by ALU)
+
+/// How many arguments are passed in registers before the stack is used.
+inline constexpr int kNumRegArgs = 4;
+/// DTaint models up to arg0..arg9 (paper §III-B).
+inline constexpr int kMaxModeledArgs = 10;
+
+/// Per-arch calling convention description.
+struct CallingConvention {
+  Arch arch;
+  int arg_regs[kNumRegArgs];  // registers carrying args 0..3
+  int ret_reg;                // register carrying the return value
+
+  /// Register for the i-th argument, or -1 if it is stack-passed.
+  int ArgReg(int i) const {
+    return (i >= 0 && i < kNumRegArgs) ? arg_regs[i] : -1;
+  }
+  /// Argument index carried by register r, or -1.
+  int ArgIndexOfReg(int r) const {
+    for (int i = 0; i < kNumRegArgs; ++i)
+      if (arg_regs[i] == r) return i;
+    return -1;
+  }
+  /// Stack offset (relative to sp at function entry) of the i-th
+  /// argument, for i >= kNumRegArgs.
+  int StackArgOffset(int i) const { return (i - kNumRegArgs) * 4; }
+};
+
+/// Calling convention for an architecture flavor.
+const CallingConvention& ConventionFor(Arch arch);
+
+/// Display name of register r under the given flavor ("r5", "sp", or
+/// MIPS-style "a0"/"v0" for argument/return registers).
+std::string RegName(Arch arch, int r);
+
+/// True for big-endian flavors (dtmips).
+bool IsBigEndian(Arch arch);
+
+/// Byte-order helpers honoring the arch flavor.
+uint32_t ReadWord(Arch arch, const uint8_t* p);
+void WriteWord(Arch arch, uint8_t* p, uint32_t v);
+
+}  // namespace dtaint

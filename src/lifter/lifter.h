@@ -1,0 +1,29 @@
+// Lifter: DT-RISC machine code -> VEX-like IR, one basic block at a
+// time (the shape Angr/pyvex exposes and the paper's analysis consumes).
+#pragma once
+
+#include <cstdint>
+
+#include "src/binary/binary.h"
+#include "src/ir/block.h"
+#include "src/util/status.h"
+
+namespace dtaint {
+
+class Lifter {
+ public:
+  explicit Lifter(const Binary& binary) : binary_(binary) {}
+
+  /// Lifts the basic block starting at `addr`. Lifting stops at the
+  /// first control-flow instruction (branch/call/ret), or just before
+  /// `stop_before` (a known block leader inside a straight-line run),
+  /// whichever comes first. `stop_before == 0` means "no limit".
+  Result<IRBlock> LiftBlock(uint32_t addr, uint32_t stop_before = 0) const;
+
+  const Binary& binary() const { return binary_; }
+
+ private:
+  const Binary& binary_;
+};
+
+}  // namespace dtaint

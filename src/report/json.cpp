@@ -1,0 +1,216 @@
+#include "src/report/json.h"
+
+#include <cstdio>
+
+#include "src/util/strings.h"
+
+namespace dtaint {
+
+namespace {
+
+/// Tiny append-only JSON builder: tracks comma placement per nesting
+/// level so call sites stay linear.
+class JsonBuilder {
+ public:
+  std::string Take() && { return std::move(out_); }
+
+  void BeginObject() { Open('{'); }
+  void EndObject() { Close('}'); }
+  void BeginArray() { Open('['); }
+  void EndArray() { Close(']'); }
+
+  void Key(std::string_view name) {
+    Comma();
+    out_ += '"';
+    out_ += JsonEscape(name);
+    out_ += "\":";
+    just_keyed_ = true;
+  }
+  void String(std::string_view value) {
+    Comma();
+    out_ += '"';
+    out_ += JsonEscape(value);
+    out_ += '"';
+  }
+  void Number(uint64_t value) {
+    Comma();
+    out_ += std::to_string(value);
+  }
+  void Number(double value) {
+    Comma();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6f", value);
+    out_ += buf;
+  }
+  void Bool(bool value) {
+    Comma();
+    out_ += value ? "true" : "false";
+  }
+
+ private:
+  void Open(char c) {
+    Comma();
+    out_ += c;
+    need_comma_.push_back(false);
+  }
+  void Close(char c) {
+    out_ += c;
+    need_comma_.pop_back();
+    if (!need_comma_.empty()) need_comma_.back() = true;
+  }
+  void Comma() {
+    if (just_keyed_) {
+      just_keyed_ = false;
+      return;
+    }
+    if (!need_comma_.empty()) {
+      if (need_comma_.back()) out_ += ',';
+      need_comma_.back() = true;
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> need_comma_;
+  bool just_keyed_ = false;
+};
+
+}  // namespace
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ReportToJson(const AnalysisReport& report) {
+  JsonBuilder json;
+  json.BeginObject();
+  json.Key("binary");
+  json.String(report.binary_name);
+  json.Key("arch");
+  json.String(ArchName(report.arch));
+
+  json.Key("shape");
+  json.BeginObject();
+  json.Key("functions");
+  json.Number(static_cast<uint64_t>(report.functions));
+  json.Key("analyzed_functions");
+  json.Number(static_cast<uint64_t>(report.analyzed_functions));
+  json.Key("blocks");
+  json.Number(static_cast<uint64_t>(report.blocks));
+  json.Key("call_graph_edges");
+  json.Number(static_cast<uint64_t>(report.call_graph_edges));
+  json.Key("sink_count");
+  json.Number(static_cast<uint64_t>(report.sink_count));
+  json.EndObject();
+
+  json.Key("timings_seconds");
+  json.BeginObject();
+  json.Key("ssa");
+  json.Number(report.ssa_seconds);
+  json.Key("ddg");
+  json.Number(report.ddg_seconds);
+  json.Key("total");
+  json.Number(report.total_seconds);
+  json.EndObject();
+
+  json.Key("paths");
+  json.BeginObject();
+  json.Key("total");
+  json.Number(static_cast<uint64_t>(report.total_paths));
+  json.Key("vulnerable");
+  json.Number(static_cast<uint64_t>(report.vulnerable_paths));
+  json.EndObject();
+
+  json.Key("findings");
+  json.BeginArray();
+  for (const Finding& finding : report.findings) {
+    const TaintPath& path = finding.path;
+    json.BeginObject();
+    json.Key("class");
+    json.String(VulnClassName(path.vuln_class));
+    json.Key("sink");
+    json.String(path.sink_name);
+    json.Key("source");
+    json.String(path.source_name);
+    json.Key("function");
+    json.String(path.sink_function);
+    json.Key("sink_site");
+    json.String(HexStr(path.sink_site));
+    json.Key("source_site");
+    json.String(HexStr(path.source_site));
+    if (path.sink_arg) {
+      json.Key("sink_argument");
+      json.String(path.sink_arg->ToString());
+    }
+    json.Key("hops");
+    json.BeginArray();
+    for (const PathHop& hop : path.hops) {
+      json.BeginObject();
+      json.Key("function");
+      json.String(hop.function);
+      json.Key("site");
+      json.String(HexStr(hop.site));
+      json.Key("note");
+      json.String(hop.note);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Key("constraints");
+    json.BeginArray();
+    for (const PathConstraint& c : path.constraints) {
+      json.String(c.ToString());
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return std::move(json).Take();
+}
+
+std::string ScoreToJson(const DetectionScore& score) {
+  JsonBuilder json;
+  json.BeginObject();
+  json.Key("true_positives");
+  json.Number(static_cast<uint64_t>(score.true_positives));
+  json.Key("false_positives");
+  json.Number(static_cast<uint64_t>(score.false_positives));
+  json.Key("false_negatives");
+  json.Number(static_cast<uint64_t>(score.false_negatives));
+  json.Key("safe_twin_hits");
+  json.Number(static_cast<uint64_t>(score.safe_twin_hits));
+  json.Key("precision");
+  json.Number(score.Precision());
+  json.Key("recall");
+  json.Number(score.Recall());
+  json.Key("found");
+  json.BeginArray();
+  for (const std::string& id : score.found_ids) json.String(id);
+  json.EndArray();
+  json.Key("missed");
+  json.BeginArray();
+  for (const std::string& id : score.missed_ids) json.String(id);
+  json.EndArray();
+  json.EndObject();
+  return std::move(json).Take();
+}
+
+}  // namespace dtaint

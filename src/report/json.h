@@ -1,0 +1,24 @@
+// JSON serialization of analysis reports — the machine-readable output
+// a downstream CI pipeline or triage UI would consume.
+#pragma once
+
+#include <string>
+
+#include "src/core/dtaint.h"
+#include "src/report/scoring.h"
+
+namespace dtaint {
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+std::string JsonEscape(std::string_view text);
+
+/// Serializes a full analysis report:
+/// { "binary": ..., "arch": ..., "shape": {...}, "timings": {...},
+///   "findings": [ {class, sink, source, function, site, hops:[...],
+///                  constraints:[...]} ... ] }
+std::string ReportToJson(const AnalysisReport& report);
+
+/// Serializes a detection score (precision/recall vs ground truth).
+std::string ScoreToJson(const DetectionScore& score);
+
+}  // namespace dtaint

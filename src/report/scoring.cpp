@@ -1,0 +1,46 @@
+#include "src/report/scoring.h"
+
+#include <set>
+
+namespace dtaint {
+
+DetectionScore ScoreFindings(const std::vector<Finding>& findings,
+                             const std::vector<PlantedVuln>& ground_truth) {
+  DetectionScore score;
+  std::set<std::string> hit_vulnerable;
+  std::set<std::string> hit_safe;
+  size_t unmatched = 0;
+
+  for (const Finding& finding : findings) {
+    const TaintPath& path = finding.path;
+    bool matched = false;
+    for (const PlantedVuln& plant : ground_truth) {
+      if (plant.sink_function != path.sink_function) continue;
+      if (plant.sink != path.sink_name) continue;
+      matched = true;
+      if (plant.sanitized) {
+        hit_safe.insert(plant.id);
+      } else {
+        hit_vulnerable.insert(plant.id);
+      }
+      break;
+    }
+    if (!matched) ++unmatched;
+  }
+
+  for (const PlantedVuln& plant : ground_truth) {
+    if (plant.sanitized) continue;
+    if (hit_vulnerable.count(plant.id)) {
+      ++score.true_positives;
+      score.found_ids.push_back(plant.id);
+    } else {
+      ++score.false_negatives;
+      score.missed_ids.push_back(plant.id);
+    }
+  }
+  score.safe_twin_hits = hit_safe.size();
+  score.false_positives = unmatched;
+  return score;
+}
+
+}  // namespace dtaint

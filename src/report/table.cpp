@@ -1,0 +1,46 @@
+#include "src/report/table.h"
+
+#include <algorithm>
+
+#include "src/util/strings.h"
+
+namespace dtaint {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      out += PadRight(cells[i], widths[i]);
+      if (i + 1 < cells.size()) out += "  ";
+    }
+    out += "\n";
+  };
+  emit_row(headers_);
+  std::string rule;
+  for (size_t i = 0; i < widths.size(); ++i) {
+    rule += std::string(widths[i], '-');
+    if (i + 1 < widths.size()) rule += "  ";
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+}  // namespace dtaint

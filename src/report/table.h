@@ -1,0 +1,24 @@
+// Plain-text table rendering for the benchmark harnesses: every bench
+// binary prints rows shaped like the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dtaint {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with column auto-sizing and an underline under headers.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dtaint

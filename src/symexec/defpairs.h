@@ -1,0 +1,99 @@
+// Definition pairs, uses, path constraints, call events, and the
+// per-function summary produced by static symbolic analysis.
+//
+// The definition pair (d, u) — paper §III-B — records "location d was
+// defined with value u". DTaint derives everything downstream from
+// these: pointer aliases (Algorithm 1), structure layouts (§III-D),
+// interprocedural flow (Algorithm 2) and the sink-to-source paths.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/symexec/symexpr.h"
+#include "src/symexec/types.h"
+
+namespace dtaint {
+
+/// One branch condition recorded along a path: `lhs op rhs` was
+/// observed `taken` at `site`. These are the "constraint expressions"
+/// checked by the sanitization phase (paper §IV).
+struct PathConstraint {
+  BinOp op = BinOp::kCmpEq;
+  SymRef lhs;
+  SymRef rhs;
+  bool taken = true;   // whether the guard evaluated true on this path
+  uint32_t site = 0;
+
+  std::string ToString() const;
+};
+
+/// One (d, u) definition pair observed on some path.
+struct DefPair {
+  SymRef d;            // location: Deref(...) for memory, or a symbol
+  SymRef u;            // defined value
+  uint32_t site = 0;   // guest address of the defining store/call
+  int path_id = 0;     // which explored path produced it
+  /// Constraints active when the definition executed (needed by the
+  /// loop-copy sink check, which has no call event to read them from).
+  std::vector<PathConstraint> constraints;
+
+  std::string ToString() const;
+};
+
+/// A use of a variable that had no reaching definition in the function
+/// (to be forwarded to callers, Algorithm 2 ForwardUndefinedUse).
+struct UseRecord {
+  SymRef u;            // the consumed value expression
+  uint32_t site = 0;
+  int path_id = 0;
+};
+
+/// A call observed during symbolic exploration, with fully symbolic
+/// arguments and the constraint prefix active at the call.
+struct CallEvent {
+  uint32_t callsite = 0;        // address of the BL/BLR
+  std::string callee;           // name; empty for unresolved indirect
+  bool is_import = false;
+  bool is_indirect = false;
+  SymRef indirect_target;       // symbolic target for indirect calls
+  std::vector<SymRef> args;     // arg0..argN as seen at the call
+  std::vector<PathConstraint> constraints;  // active constraints
+  int path_id = 0;
+};
+
+/// Everything the engine learned about one function.
+struct FunctionSummary {
+  std::string name;
+  uint32_t addr = 0;
+
+  std::vector<DefPair> def_pairs;
+  std::vector<UseRecord> undefined_uses;
+  std::vector<CallEvent> calls;
+  /// Possible return values (one per explored path that returned).
+  std::vector<SymRef> return_values;
+  TypeMap types;
+
+  /// Exploration statistics.
+  int paths_explored = 0;
+  int blocks_visited = 0;
+  bool truncated = false;  // hit a path/step budget
+
+  /// Definition pairs whose location root is a formal argument or a
+  /// returned pointer — the part of the summary callers must see.
+  std::vector<const DefPair*> EscapingDefs() const;
+};
+
+/// True if the location expression is rooted (innermost base) at a
+/// formal argument / Sp0 / heap symbol; extracts the root.
+SymRef RootPointerOf(const SymRef& expr);
+
+/// Human-readable dump of a function summary (definition pairs,
+/// undefined uses, calls, return values) — the CLI's `inspect
+/// --summary` view and a debugging staple.
+std::string SummaryToString(const FunctionSummary& summary,
+                            size_t max_items = 64);
+
+}  // namespace dtaint

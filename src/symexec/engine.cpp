@@ -1,0 +1,509 @@
+#include "src/symexec/engine.h"
+
+#include <deque>
+
+#include "src/util/hash.h"
+
+namespace dtaint {
+
+namespace {
+
+/// Fresh opaque symbol used when an expression is widened (depth cap)
+/// or a value is unknowable; keyed so repeated widenings differ.
+SymRef FreshUnknown(uint32_t salt) {
+  return SymExpr::InitReg(static_cast<int>(0x10000 + salt));
+}
+
+}  // namespace
+
+const LibModel* FindLibModel(std::string_view name) {
+  static const std::vector<LibModel> kModels = [] {
+    std::vector<LibModel> models;
+    auto taints_arg = [&models](const char* name, int arg, int ret_arg = -1) {
+      LibModel m;
+      m.name = name;
+      m.taints_pointee_of_arg = arg;
+      m.returns_arg = ret_arg;
+      models.push_back(std::move(m));
+    };
+    auto taints_ret = [&models](const char* name) {
+      LibModel m;
+      m.name = name;
+      m.returns_tainted_buffer = true;
+      models.push_back(std::move(m));
+    };
+    auto copies = [&models](const char* name, int dst, int src,
+                            int ret_arg = -1) {
+      LibModel m;
+      m.name = name;
+      m.copy_dst_arg = dst;
+      m.copy_src_arg = src;
+      m.returns_arg = ret_arg;
+      models.push_back(std::move(m));
+    };
+    // Sources: network/file reads write attacker bytes into a buffer arg.
+    taints_arg("read", 1);
+    taints_arg("recv", 1);
+    taints_arg("recvfrom", 1);
+    taints_arg("recvmsg", 1);
+    taints_arg("fgets", 0, /*ret_arg=*/0);
+    // Sources returning a pointer to attacker-controlled bytes.
+    taints_ret("getenv");
+    taints_ret("websGetVar");
+    taints_ret("find_var");
+    // Copies (sinks for overflow checking; also propagate data).
+    copies("strcpy", 0, 1, /*ret_arg=*/0);
+    copies("strncpy", 0, 1, /*ret_arg=*/0);
+    copies("strcat", 0, 1, /*ret_arg=*/0);
+    copies("memcpy", 0, 1, /*ret_arg=*/0);
+    copies("sprintf", 0, 2);
+    copies("snprintf", 0, 3);
+    {
+      LibModel m;
+      m.name = "sscanf";
+      m.copy_src_arg = 0;
+      m.extra_dst_args = {2, 3, 4};
+      models.push_back(std::move(m));
+    }
+    {
+      LibModel m;
+      m.name = "malloc";
+      m.allocates = true;
+      models.push_back(std::move(m));
+    }
+    // String interrogation: the result is a pure function of the buffer
+    // contents, modeled as deref(arg) so `strlen(s) < 64` constrains
+    // the same region the taint lives in.
+    {
+      LibModel m;
+      m.name = "strlen";
+      m.returns_deref_of_arg = 0;
+      models.push_back(std::move(m));
+    }
+    {
+      LibModel m;
+      m.name = "atoi";
+      m.returns_deref_of_arg = 0;
+      models.push_back(std::move(m));
+    }
+    return models;
+  }();
+  for (const LibModel& m : kModels) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// One in-flight exploration unit: a block about to be executed under a
+/// path state.
+struct Work {
+  uint32_t block_addr;
+  SymState state;
+};
+
+class Exploration {
+ public:
+  Exploration(const Binary& binary, const Function& fn,
+              const EngineConfig& config, FunctionSummary& summary)
+      : binary_(binary), fn_(fn), config_(config), summary_(summary),
+        cc_(ConventionFor(binary.arch)) {}
+
+  void Run() {
+    SymState init = SymState::Entry(binary_.arch);
+    init.path_id = next_path_id_++;
+    work_.push_back({fn_.addr, std::move(init)});
+    while (!work_.empty()) {
+      if (summary_.paths_explored >= config_.max_paths ||
+          block_visits_ >= config_.max_block_visits) {
+        summary_.truncated = true;
+        break;
+      }
+      Work work = std::move(work_.back());
+      work_.pop_back();
+      ExecuteBlock(work.block_addr, std::move(work.state));
+    }
+  }
+
+ private:
+  SymRef Widen(SymRef value) {
+    if (value->Depth() <= config_.max_expr_depth) return value;
+    return FreshUnknown(widen_counter_++);
+  }
+
+  SymRef EvalExpr(const ExprRef& e, std::vector<SymRef>& tmps,
+                  SymState& state, uint32_t site) {
+    switch (e->kind()) {
+      case ExprKind::kConst:
+        return SymExpr::Const(e->const_value());
+      case ExprKind::kRdTmp:
+        return tmps[e->tmp()];
+      case ExprKind::kGet:
+        return state.Reg(e->reg());
+      case ExprKind::kLoad: {
+        SymRef addr = EvalExpr(e->lhs(), tmps, state, site);
+        if (config_.record_types) {
+          auto split = SymExpr::SplitBaseOffset(addr);
+          if (split.base) summary_.types.Observe(split.base, ValueType::kPtr);
+        }
+        // Concrete addresses into .rodata/.data read the actual bytes —
+        // string literals, dispatch tables (function pointers!).
+        if (addr->kind() == SymKind::kConst && e->load_size() == 4) {
+          auto word = binary_.ReadWordAt(addr->const_value());
+          if (word.ok()) return SymExpr::Const(*word);
+        }
+        bool defined = false;
+        SymRef value = state.LoadMem(addr, e->load_size(), &defined);
+        if (!defined) {
+          SymRef root = RootPointerOf(value);
+          if (root && (root->kind() == SymKind::kArg ||
+                       root->kind() == SymKind::kRet ||
+                       root->kind() == SymKind::kHeap)) {
+            summary_.undefined_uses.push_back(
+                {value, site, state.path_id});
+          }
+        }
+        return value;
+      }
+      case ExprKind::kBinop: {
+        SymRef lhs = EvalExpr(e->lhs(), tmps, state, site);
+        SymRef rhs = EvalExpr(e->rhs(), tmps, state, site);
+        return Widen(SymExpr::Bin(e->binop(), lhs, rhs));
+      }
+    }
+    return FreshUnknown(widen_counter_++);
+  }
+
+  /// Collects call arguments arg0..arg{n-1} from the state.
+  std::vector<SymRef> CollectArgs(SymState& state, int count) {
+    std::vector<SymRef> args;
+    for (int i = 0; i < count; ++i) {
+      if (i < kNumRegArgs) {
+        args.push_back(state.Reg(cc_.arg_regs[i]));
+      } else {
+        SymRef slot =
+            SymAdd(state.Reg(kRegSp), (i - kNumRegArgs) * 4);
+        args.push_back(state.LoadMem(slot, 4, nullptr));
+      }
+    }
+    return args;
+  }
+
+  void RecordDef(SymState& state, SymRef location, SymRef value,
+                 uint32_t site) {
+    DefPair dp;
+    dp.d = std::move(location);
+    dp.u = std::move(value);
+    dp.site = site;
+    dp.path_id = state.path_id;
+    dp.constraints = state.constraints();
+    summary_.def_pairs.push_back(std::move(dp));
+  }
+
+  /// Applies a library model's memory/taint/return effects.
+  void ApplyLibCall(const CallSite& cs, const LibModel* model,
+                    const std::string& name, std::vector<SymRef>& args,
+                    SymState& state) {
+    SymRef ret = SymExpr::Ret(cs.call_addr);
+    if (model) {
+      if (model->taints_pointee_of_arg >= 0 &&
+          model->taints_pointee_of_arg < static_cast<int>(args.size())) {
+        const SymRef& buf = args[model->taints_pointee_of_arg];
+        SymRef taint = SymExpr::Taint(cs.call_addr, name);
+        state.StoreMem(buf, taint, 4);
+        RecordDef(state, SymExpr::Deref(buf), taint, cs.call_addr);
+      }
+      if (model->returns_tainted_buffer) {
+        SymRef taint = SymExpr::Taint(cs.call_addr, name);
+        state.StoreMem(ret, taint, 1);
+        RecordDef(state, SymExpr::Deref(ret, 1), taint, cs.call_addr);
+      }
+      if (model->copy_dst_arg >= 0 && model->copy_src_arg >= 0 &&
+          model->copy_dst_arg < static_cast<int>(args.size()) &&
+          model->copy_src_arg < static_cast<int>(args.size())) {
+        const SymRef& dst = args[model->copy_dst_arg];
+        const SymRef& src = args[model->copy_src_arg];
+        SymRef value = state.LoadMem(src, 4, nullptr);
+        state.StoreMem(dst, value, 4);
+        RecordDef(state, SymExpr::Deref(dst), value, cs.call_addr);
+      }
+      for (int dst_idx : model->extra_dst_args) {
+        if (model->copy_src_arg < 0 ||
+            dst_idx >= static_cast<int>(args.size())) {
+          continue;
+        }
+        const SymRef& dst = args[dst_idx];
+        SymRef value =
+            state.LoadMem(args[model->copy_src_arg], 4, nullptr);
+        state.StoreMem(dst, value, 4);
+        RecordDef(state, SymExpr::Deref(dst), value, cs.call_addr);
+      }
+      if (model->allocates) {
+        // Heap identity = hash of the callsite chain; intraprocedurally
+        // the chain is just this callsite, and the interprocedural pass
+        // extends the hash as summaries flow into callers (§III-E).
+        ret = SymExpr::Heap(
+            HashCombine(kFnvOffset, cs.call_addr));
+      }
+      if (model->returns_arg >= 0 &&
+          model->returns_arg < static_cast<int>(args.size())) {
+        ret = args[model->returns_arg];
+      }
+      if (model->returns_deref_of_arg >= 0 &&
+          model->returns_deref_of_arg < static_cast<int>(args.size())) {
+        ret = state.LoadMem(args[model->returns_deref_of_arg], 4, nullptr);
+      }
+    }
+    state.SetReg(cc_.ret_reg, ret);
+    // Library-signature type evidence (paper: "the parameters are
+    // specified data types").
+    if (config_.record_types) {
+      if (const LibSignature* sig = FindLibSignature(name)) {
+        for (size_t i = 0; i < sig->params.size() && i < args.size(); ++i) {
+          summary_.types.Observe(args[i], sig->params[i]);
+        }
+        summary_.types.Observe(ret, sig->ret);
+      }
+    }
+  }
+
+  void ExecuteBlock(uint32_t block_addr, SymState state) {
+    const IRBlock* block = fn_.BlockAt(block_addr);
+    if (!block) {
+      FinishPath(state);
+      return;
+    }
+    if (state.visited_blocks().count(block_addr)) {
+      // Loop heuristic: a block is analyzed once per path.
+      FinishPath(state);
+      return;
+    }
+    state.visited_blocks().insert(block_addr);
+    ++block_visits_;
+    ++summary_.blocks_visited;
+
+    std::vector<SymRef> tmps(block->next_tmp);
+    uint32_t cur_site = block_addr;
+
+    // Pending symbolic conditional exit, if any (lifter emits at most
+    // one, as the final statement before the block terminator).
+    struct PendingExit {
+      SymRef guard_lhs, guard_rhs;
+      BinOp op;
+      uint32_t target;
+      uint32_t site;
+      bool concrete = false;
+      bool concrete_taken = false;
+    };
+    std::optional<PendingExit> pending_exit;
+
+    for (const Stmt& stmt : block->stmts) {
+      switch (stmt.kind) {
+        case StmtKind::kIMark:
+          cur_site = stmt.addr;
+          break;
+        case StmtKind::kWrTmp:
+          tmps[stmt.tmp] = EvalExpr(stmt.expr, tmps, state, cur_site);
+          break;
+        case StmtKind::kPut: {
+          SymRef value = EvalExpr(stmt.expr, tmps, state, cur_site);
+          if (config_.record_types && stmt.reg == kFlagRhs &&
+              value->kind() == SymKind::kConst) {
+            // CMP rX, #imm marks rX's value as an integer.
+            summary_.types.Observe(state.Reg(kFlagLhs), ValueType::kInt);
+          }
+          state.SetReg(stmt.reg, std::move(value));
+          break;
+        }
+        case StmtKind::kStore: {
+          SymRef addr = EvalExpr(stmt.addr_expr, tmps, state, cur_site);
+          SymRef data = EvalExpr(stmt.data_expr, tmps, state, cur_site);
+          if (config_.record_types) {
+            auto split = SymExpr::SplitBaseOffset(addr);
+            if (split.base) {
+              summary_.types.Observe(split.base, ValueType::kPtr);
+            }
+          }
+          state.StoreMem(addr, data, stmt.size);
+          RecordDef(state, SymExpr::Deref(addr, stmt.size), data, cur_site);
+          break;
+        }
+        case StmtKind::kExit: {
+          // Guard is Binop(cmp, flagL, flagR); evaluate its operands so
+          // the constraint names program values, not flag registers.
+          SymRef lhs = EvalExpr(stmt.expr->lhs(), tmps, state, cur_site);
+          SymRef rhs = EvalExpr(stmt.expr->rhs(), tmps, state, cur_site);
+          PendingExit px;
+          px.op = stmt.expr->binop();
+          px.guard_lhs = lhs;
+          px.guard_rhs = rhs;
+          px.target = stmt.target;
+          px.site = cur_site;
+          SymRef folded = SymExpr::Bin(px.op, lhs, rhs);
+          if (folded->kind() == SymKind::kConst) {
+            px.concrete = true;
+            px.concrete_taken = folded->const_value() != 0;
+          }
+          pending_exit = std::move(px);
+          break;
+        }
+      }
+    }
+
+    // Decide successors.
+    switch (block->jumpkind) {
+      case JumpKind::kBoring: {
+        uint32_t fallthrough = 0;
+        bool has_fallthrough = false;
+        if (block->next && block->next->kind() == ExprKind::kConst) {
+          fallthrough = block->next->const_value();
+          has_fallthrough =
+              fallthrough >= fn_.addr && fallthrough < fn_.addr + fn_.size;
+        }
+        if (pending_exit) {
+          const PendingExit& px = *pending_exit;
+          if (px.concrete) {
+            // Deterministic branch: follow only the feasible side.
+            if (px.concrete_taken) {
+              Continue(px.target, std::move(state));
+            } else if (has_fallthrough) {
+              Continue(fallthrough, std::move(state));
+            } else {
+              FinishPath(state);
+            }
+            return;
+          }
+          // Symbolic: explore both directions (paper: "DTaint explores
+          // both directions of each conditional branch").
+          SymState taken = state;
+          taken.path_id = next_path_id_++;
+          taken.constraints().push_back(
+              {px.op, px.guard_lhs, px.guard_rhs, true, px.site});
+          Continue(px.target, std::move(taken));
+          if (has_fallthrough) {
+            state.constraints().push_back(
+                {px.op, px.guard_lhs, px.guard_rhs, false, px.site});
+            Continue(fallthrough, std::move(state));
+          } else {
+            FinishPath(state);
+          }
+          return;
+        }
+        if (has_fallthrough) {
+          Continue(fallthrough, std::move(state));
+        } else {
+          FinishPath(state);
+        }
+        return;
+      }
+      case JumpKind::kCall: {
+        const CallSite* cs = nullptr;
+        for (const CallSite& c : fn_.callsites) {
+          if (c.block_addr == block_addr && !c.is_indirect) cs = &c;
+        }
+        if (cs) HandleDirectCall(*cs, state);
+        if (block->return_addr >= fn_.addr &&
+            block->return_addr < fn_.addr + fn_.size) {
+          Continue(block->return_addr, std::move(state));
+        } else {
+          FinishPath(state);
+        }
+        return;
+      }
+      case JumpKind::kIndirectCall: {
+        const CallSite* cs = nullptr;
+        for (const CallSite& c : fn_.callsites) {
+          if (c.block_addr == block_addr && c.is_indirect) cs = &c;
+        }
+        if (cs) {
+          CallEvent event;
+          event.callsite = cs->call_addr;
+          event.is_indirect = true;
+          // The target expression is the evaluated `next`.
+          std::vector<SymRef> dummy_tmps = tmps;
+          event.indirect_target =
+              EvalExpr(block->next, dummy_tmps, state, cs->call_addr);
+          event.args = CollectArgs(state, kNumRegArgs + 2);
+          event.constraints = state.constraints();
+          event.path_id = state.path_id;
+          summary_.calls.push_back(std::move(event));
+          state.SetReg(cc_.ret_reg, SymExpr::Ret(cs->call_addr));
+        }
+        if (block->return_addr >= fn_.addr &&
+            block->return_addr < fn_.addr + fn_.size) {
+          Continue(block->return_addr, std::move(state));
+        } else {
+          FinishPath(state);
+        }
+        return;
+      }
+      case JumpKind::kRet: {
+        summary_.return_values.push_back(state.Reg(cc_.ret_reg));
+        FinishPath(state);
+        return;
+      }
+    }
+  }
+
+  void HandleDirectCall(const CallSite& cs, SymState& state) {
+    const LibModel* model =
+        cs.target_is_import ? FindLibModel(cs.target_name) : nullptr;
+    int arg_count = kNumRegArgs + 2;
+    if (cs.target_is_import) {
+      if (const LibSignature* sig = FindLibSignature(cs.target_name)) {
+        arg_count = static_cast<int>(sig->params.size());
+      }
+    }
+    CallEvent event;
+    event.callsite = cs.call_addr;
+    event.callee = cs.target_name;
+    event.is_import = cs.target_is_import;
+    event.args = CollectArgs(state, arg_count);
+    event.constraints = state.constraints();
+    event.path_id = state.path_id;
+
+    if (cs.target_is_import) {
+      ApplyLibCall(cs, model, cs.target_name, event.args, state);
+    } else {
+      // Local callee: the return value is the opaque ret_{callsite}
+      // symbol; the interprocedural pass later substitutes the callee's
+      // summary (Algorithm 2).
+      state.SetReg(cc_.ret_reg, SymExpr::Ret(cs.call_addr));
+    }
+    summary_.calls.push_back(std::move(event));
+  }
+
+  void Continue(uint32_t block_addr, SymState state) {
+    work_.push_back({block_addr, std::move(state)});
+  }
+
+  void FinishPath(const SymState& state) {
+    (void)state;
+    ++summary_.paths_explored;
+  }
+
+  const Binary& binary_;
+  const Function& fn_;
+  const EngineConfig& config_;
+  FunctionSummary& summary_;
+  const CallingConvention& cc_;
+
+  std::vector<Work> work_;
+  int next_path_id_ = 0;
+  int block_visits_ = 0;
+  uint32_t widen_counter_ = 0;
+};
+
+}  // namespace
+
+FunctionSummary SymEngine::Analyze(const Function& fn) const {
+  FunctionSummary summary;
+  summary.name = fn.name;
+  summary.addr = fn.addr;
+  Exploration exploration(binary_, fn, config_, summary);
+  exploration.Run();
+  return summary;
+}
+
+}  // namespace dtaint

@@ -1,0 +1,72 @@
+// Static symbolic analysis of one function (paper §III-B).
+//
+// Explores the function CFG path-by-path over the lifted IR:
+//  * calling-convention-aware entry state (args symbolic, sp = SP);
+//  * both directions of every symbolic conditional are explored, with
+//    the branch condition recorded as a path constraint;
+//  * the loop heuristic "blocks in the same loop are only analyzed
+//    once" is realized by never revisiting a block on the same path
+//    (back edges are not followed), so a block may still carry several
+//    distinct symbolic states from different paths;
+//  * direct library calls apply a behavioral model (taint injection
+//    for sources, buffer copies for str*/mem* functions, heap identity
+//    for malloc); local callees yield a ret_{callsite} symbol whose
+//    meaning is filled in later by the bottom-up interprocedural pass;
+//  * every store becomes a definition pair, every load from undefined
+//    memory becomes a lazily-named deref variable (and an undefined
+//    use when rooted at an argument).
+#pragma once
+
+#include <cstdint>
+
+#include "src/binary/binary.h"
+#include "src/cfg/function.h"
+#include "src/symexec/defpairs.h"
+#include "src/symexec/symstate.h"
+#include "src/util/status.h"
+
+namespace dtaint {
+
+struct EngineConfig {
+  int max_paths = 48;          // terminated-path budget per function
+  int max_block_visits = 4096; // total block executions per function
+  int max_expr_depth = 96;     // widen expressions beyond this
+  bool record_types = true;
+};
+
+class SymEngine {
+ public:
+  SymEngine(const Binary& binary, EngineConfig config = {})
+      : binary_(binary), config_(config) {}
+
+  /// Runs static symbolic analysis over one lifted function.
+  FunctionSummary Analyze(const Function& fn) const;
+
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  const Binary& binary_;
+  EngineConfig config_;
+};
+
+/// Behavioral model of one library function, applied at import calls.
+struct LibModel {
+  std::string name;
+  int taints_pointee_of_arg = -1;  // recv/read: arg index whose buffer
+                                   // is overwritten with attacker data
+  bool returns_tainted_buffer = false;  // getenv-style: *ret is tainted
+  int copy_dst_arg = -1;           // strcpy-style copies
+  int copy_src_arg = -1;
+  std::vector<int> extra_dst_args; // sscanf: multiple out-pointers
+  bool allocates = false;          // malloc-style: returns heap pointer
+  int returns_arg = -1;            // strcpy returns dst
+  int returns_deref_of_arg = -1;   // strlen-style: the return value is
+                                   // a function of the buffer contents,
+                                   // modeled as deref(arg) so length
+                                   // checks tie back to the region
+};
+
+/// Model for a library function, or nullptr if unmodeled.
+const LibModel* FindLibModel(std::string_view name);
+
+}  // namespace dtaint

@@ -1,0 +1,73 @@
+#include "src/symexec/symstate.h"
+
+#include <cassert>
+
+#include "src/ir/expr.h"
+
+namespace dtaint {
+
+SymState SymState::Entry(Arch arch) {
+  SymState state;
+  state.arch_ = arch;
+  state.regs_.resize(kNumIrRegs);
+  const CallingConvention& cc = ConventionFor(arch);
+  for (int r = 0; r < kNumIrRegs; ++r) {
+    state.regs_[r] = SymExpr::InitReg(r);
+  }
+  for (int i = 0; i < kNumRegArgs; ++i) {
+    state.regs_[cc.arg_regs[i]] = SymExpr::Arg(i);
+  }
+  state.regs_[kRegSp] = SymExpr::Sp0();
+  // Stack-passed arguments arg4..arg9 live at [Sp0 + k]; seed them so a
+  // load finds the argument symbol rather than an anonymous deref.
+  for (int i = kNumRegArgs; i < kMaxModeledArgs; ++i) {
+    SymRef slot = SymAdd(SymExpr::Sp0(), cc.StackArgOffset(i));
+    state.StoreMem(slot, SymExpr::Arg(i), 4);
+  }
+  return state;
+}
+
+const SymRef& SymState::Reg(int reg) const {
+  assert(reg >= 0 && reg < static_cast<int>(regs_.size()));
+  return regs_[reg];
+}
+
+void SymState::SetReg(int reg, SymRef value) {
+  assert(reg >= 0 && reg < static_cast<int>(regs_.size()));
+  regs_[reg] = std::move(value);
+}
+
+SymRef SymState::LoadMem(const SymRef& addr, uint8_t size,
+                         bool* was_defined) {
+  auto [begin, end] = mem_.equal_range(addr->hash());
+  for (auto it = begin; it != end; ++it) {
+    if (SymExpr::Equal(it->second.addr, addr)) {
+      if (was_defined) *was_defined = true;
+      return it->second.value;
+    }
+  }
+  if (was_defined) *was_defined = false;
+  return SymExpr::Deref(addr, size);
+}
+
+void SymState::StoreMem(const SymRef& addr, SymRef value, uint8_t size) {
+  auto [begin, end] = mem_.equal_range(addr->hash());
+  for (auto it = begin; it != end; ++it) {
+    if (SymExpr::Equal(it->second.addr, addr)) {
+      it->second.value = std::move(value);
+      it->second.size = size;
+      return;
+    }
+  }
+  mem_.emplace(addr->hash(), MemEntry{addr, std::move(value), size});
+}
+
+SymRef SymState::PeekMem(const SymRef& addr) const {
+  auto [begin, end] = mem_.equal_range(addr->hash());
+  for (auto it = begin; it != end; ++it) {
+    if (SymExpr::Equal(it->second.addr, addr)) return it->second.value;
+  }
+  return nullptr;
+}
+
+}  // namespace dtaint

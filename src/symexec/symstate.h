@@ -1,0 +1,73 @@
+// Symbolic machine state for one exploration path.
+//
+// Registers map to symbolic values; memory is a map from canonical
+// address expressions to stored values. Loading an address that was
+// never stored yields the lazy `deref(addr)` variable description the
+// paper builds everything on. Each state also carries the path's
+// branch-condition trail.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/isa/regs.h"
+#include "src/symexec/defpairs.h"
+#include "src/symexec/symexpr.h"
+
+namespace dtaint {
+
+class SymState {
+ public:
+  /// Initial state at function entry: argument registers hold
+  /// arg0..arg3, sp holds Sp0, stack slots above sp hold arg4..arg9
+  /// (lazily via LoadMem), everything else InitReg (paper §III-B).
+  static SymState Entry(Arch arch);
+
+  // ---- registers -----------------------------------------------------------
+  const SymRef& Reg(int reg) const;
+  void SetReg(int reg, SymRef value);
+
+  // ---- memory --------------------------------------------------------------
+  /// Reads `size` bytes at `addr`. If nothing was stored there on this
+  /// path, returns deref(addr) (and reports it as an undefined use
+  /// via `was_defined=false`).
+  SymRef LoadMem(const SymRef& addr, uint8_t size, bool* was_defined);
+  /// Writes to `addr`, replacing any prior value at an equal address.
+  void StoreMem(const SymRef& addr, SymRef value, uint8_t size);
+  /// Value at an exactly-equal address, or nullptr.
+  SymRef PeekMem(const SymRef& addr) const;
+
+  size_t MemEntryCount() const { return mem_.size(); }
+
+  // ---- path metadata --------------------------------------------------------
+  std::vector<PathConstraint>& constraints() { return constraints_; }
+  const std::vector<PathConstraint>& constraints() const {
+    return constraints_;
+  }
+
+  std::set<uint32_t>& visited_blocks() { return visited_blocks_; }
+  const std::set<uint32_t>& visited_blocks() const { return visited_blocks_; }
+
+  int path_id = 0;
+
+ private:
+  SymState() = default;
+
+  Arch arch_ = Arch::kDtArm;
+  std::vector<SymRef> regs_;  // kNumIrRegs entries
+
+  struct MemEntry {
+    SymRef addr;
+    SymRef value;
+    uint8_t size;
+  };
+  // Keyed by address-expression hash; collisions resolved by Equal.
+  std::multimap<uint64_t, MemEntry> mem_;
+
+  std::vector<PathConstraint> constraints_;
+  std::set<uint32_t> visited_blocks_;
+};
+
+}  // namespace dtaint

@@ -1,0 +1,89 @@
+// CodeGen: emits DT-RISC functions for vulnerability-pattern plants
+// and filler parser/utility code, into a BinaryWriter.
+//
+// Every plant pattern has a vulnerable form and a sanitized twin
+// (`PlantSpec::sanitized`); the twin differs only by the bounds check /
+// semicolon filter the paper's constraint expressions look for, which
+// is what makes precision measurable.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/binary/writer.h"
+#include "src/synth/progspec.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace dtaint {
+
+class CodeGen {
+ public:
+  CodeGen(const ProgramSpec& spec, BinaryWriter& writer);
+
+  /// Emits all plants, fillers, and the root "main" dispatcher.
+  /// On success the writer holds the full program.
+  Status EmitAll();
+
+  const std::vector<PlantedVuln>& ground_truth() const {
+    return ground_truth_;
+  }
+
+ private:
+  struct RegMap {
+    int a0, a1, a2, a3;  // argument registers
+    int rv;              // return-value register
+    int s0, s1, s2, s3, s4, s5;  // scratch registers
+  };
+
+  Status EmitPlant(const PlantSpec& plant);
+  Status EmitDirect(const PlantSpec& plant);
+  Status EmitWrapper(const PlantSpec& plant);
+  Status EmitAliasChain(const PlantSpec& plant);
+  Status EmitDispatch(const PlantSpec& plant);
+  Status EmitLoopCopy(const PlantSpec& plant);
+  Status EmitFillers();
+  Status EmitMain();
+
+  /// Emits "acquire tainted data" preamble into `b`; afterwards s0
+  /// holds a pointer to attacker bytes (stack buffer or returned ptr).
+  /// Returns false if the source name is unsupported.
+  bool EmitSource(FnBuilder& b, const std::string& source);
+  /// Emits the sink call consuming the tainted pointer in s0, guarded
+  /// by the sanitizing check when `sanitized`. The "out" label must be
+  /// placed by the caller (EmitSinkTail does it).
+  bool EmitSink(FnBuilder& b, const std::string& sink, bool sanitized);
+
+  /// Standard function prologue/epilogue: allocate the frame and
+  /// save/restore the link register in its top slot, like real
+  /// firmware code does — required for the generated binaries to be
+  /// *executable* (the verification VM runs them), not just
+  /// analyzable.
+  void Prologue(FnBuilder& b, int frame);
+  void Epilogue(FnBuilder& b, int frame);
+
+  /// Address of a NUL-terminated string in .rodata (deduplicated).
+  uint32_t StrAddr(const std::string& text);
+  /// Registers a libc import on first use.
+  void Import(const std::string& name);
+  /// Finalizes a builder and hands the function to the writer.
+  Status Finish(FnBuilder&& b);
+
+  void RecordPlant(const PlantSpec& plant, const std::string& sink_fn,
+                   bool needs_alias, bool needs_structsim,
+                   bool interprocedural);
+
+  const ProgramSpec& spec_;
+  BinaryWriter& writer_;
+  RegMap r_;
+  Rng rng_;
+  std::map<std::string, uint32_t> string_pool_;
+  std::set<std::string> imports_;
+  std::vector<std::string> entry_functions_;  // called from main
+  std::vector<std::string> filler_names_;
+  std::vector<PlantedVuln> ground_truth_;
+};
+
+}  // namespace dtaint

@@ -1,0 +1,59 @@
+#include "src/synth/firmware_synth.h"
+
+#include "src/binary/writer.h"
+#include "src/synth/codegen.h"
+
+namespace dtaint {
+
+Result<SynthOutput> SynthesizeBinary(const ProgramSpec& spec) {
+  BinaryWriter writer(spec.arch, spec.name);
+  CodeGen gen(spec, writer);
+  if (Status s = gen.EmitAll(); !s.ok()) return s;
+  auto binary = writer.Build();
+  if (!binary.ok()) return binary.status();
+  SynthOutput out;
+  out.binary = std::move(*binary);
+  out.ground_truth = gen.ground_truth();
+  return out;
+}
+
+Result<FirmwareSynthOutput> SynthesizeFirmware(const FirmwareSpec& spec) {
+  auto built = SynthesizeBinary(spec.program);
+  if (!built.ok()) return built.status();
+
+  FirmwareSynthOutput out;
+  out.ground_truth = std::move(built->ground_truth);
+  FirmwareImage& image = out.image;
+  image.vendor = spec.vendor;
+  image.product = spec.product;
+  image.version = spec.version;
+  image.release_year = spec.release_year;
+  image.arch = spec.program.arch;
+  image.packing = spec.packing;
+
+  auto text_file = [](std::string path, std::string body) {
+    FirmwareFile f;
+    f.path = std::move(path);
+    f.bytes.assign(body.begin(), body.end());
+    return f;
+  };
+  image.files.push_back(text_file(
+      "/etc/passwd", "root:x:0:0:root:/root:/bin/sh\n"
+                     "admin:x:1000:1000::/home/admin:/bin/sh\n"));
+  image.files.push_back(text_file(
+      "/etc/version", spec.vendor + " " + spec.product + " v" +
+                          spec.version + "\n"));
+  image.files.push_back(
+      text_file("/www/index.html",
+                "<html><title>" + spec.product + "</title></html>\n"));
+  image.files.push_back(text_file("/etc/init.d/rcS",
+                                  "#!/bin/sh\n" + spec.binary_path + " &\n"));
+
+  FirmwareFile bin_file;
+  bin_file.path = spec.binary_path;
+  bin_file.bytes = BinaryWriter::Serialize(built->binary);
+  image.files.push_back(std::move(bin_file));
+  return out;
+}
+
+}  // namespace dtaint

@@ -1,0 +1,36 @@
+// FirmwareSynthesizer: builds a complete binary from a ProgramSpec and
+// wraps it (plus auxiliary rootfs files) into a FirmwareImage.
+#pragma once
+
+#include <string>
+
+#include "src/firmware/image.h"
+#include "src/synth/progspec.h"
+#include "src/util/status.h"
+
+namespace dtaint {
+
+/// Builds the binary described by `spec` (plants + fillers + main).
+Result<SynthOutput> SynthesizeBinary(const ProgramSpec& spec);
+
+/// Firmware-level description: the program plus vendor metadata.
+struct FirmwareSpec {
+  ProgramSpec program;
+  std::string vendor = "Acme";
+  std::string product = "RT-1000";
+  std::string version = "1.0";
+  uint16_t release_year = 2015;
+  Packing packing = Packing::kPlain;
+  std::string binary_path = "/bin/httpd";
+};
+
+struct FirmwareSynthOutput {
+  FirmwareImage image;
+  std::vector<PlantedVuln> ground_truth;
+};
+
+/// Builds a full firmware image: the synthesized binary at
+/// `binary_path` plus a realistic sprinkling of rootfs files.
+Result<FirmwareSynthOutput> SynthesizeFirmware(const FirmwareSpec& spec);
+
+}  // namespace dtaint

@@ -1,0 +1,297 @@
+#include "src/synth/paper_images.h"
+
+namespace dtaint {
+
+int PlantFunctionCount(const PlantSpec& plant) {
+  switch (plant.pattern) {
+    case VulnPattern::kDirect:
+      return 1;
+    case VulnPattern::kWrapper:
+      return 2 + plant.extra_callers;  // handler + fill variants
+    case VulnPattern::kAliasChain:
+      return 3;  // woo + handler + entry
+    case VulnPattern::kDispatch:
+      return 5;  // impl + decoy + setup + dispatch + entry
+    case VulnPattern::kLoopCopy:
+      return 1;
+  }
+  return 1;
+}
+
+namespace {
+
+PlantSpec Plant(std::string id, VulnPattern pattern, std::string source,
+                std::string sink, bool sanitized = false,
+                int extra_callers = 0, std::string cve_label = {}) {
+  PlantSpec p;
+  p.id = std::move(id);
+  p.pattern = pattern;
+  p.source = std::move(source);
+  p.sink = std::move(sink);
+  p.sanitized = sanitized;
+  p.extra_callers = extra_callers;
+  p.cve_label = std::move(cve_label);
+  return p;
+}
+
+/// Completes a ProgramSpec: computes the filler count so the total
+/// function count (plants + fillers + main) hits `target_functions`.
+void SizeProgram(ProgramSpec& prog, int target_functions,
+                 int avg_blocks_per_fn, double call_density) {
+  int plant_fns = 1;  // main
+  for (const PlantSpec& p : prog.plants) plant_fns += PlantFunctionCount(p);
+  prog.filler_functions = std::max(0, target_functions - plant_fns);
+  prog.filler_min_blocks = std::max(3, avg_blocks_per_fn - 5);
+  prog.filler_max_blocks = avg_blocks_per_fn + 7;
+  prog.filler_call_density = call_density;
+}
+
+}  // namespace
+
+std::vector<PaperImageSpec> PaperImageSpecs() {
+  std::vector<PaperImageSpec> specs;
+
+  // ---- 1. D-Link DIR-645_1.03 (MIPS, cgibin) ---------------------------
+  {
+    PaperImageSpec s;
+    s.firmware.vendor = "D-Link";
+    s.firmware.product = "DIR-645";
+    s.firmware.version = "1.03";
+    s.firmware.release_year = 2013;
+    s.firmware.binary_path = "/htdocs/cgibin";
+    ProgramSpec& prog = s.firmware.program;
+    prog.name = "cgibin";
+    prog.arch = Arch::kDtMips;
+    prog.seed = 645;
+    prog.plants = {
+        // CVE-2013-7389: two bugs — the POST "password" strncpy overflow
+        // and the overlong-cookie sprintf overflow.
+        Plant("dir645_cve_2013_7389a", VulnPattern::kDirect, "read",
+              "strncpy", false, 0, "CVE-2013-7389"),
+        Plant("dir645_cve_2013_7389b", VulnPattern::kDirect, "getenv",
+              "sprintf", false, 0, "CVE-2013-7389"),
+        // CVE-2015-2051: SOAPAction command injection.
+        Plant("dir645_cve_2015_2051", VulnPattern::kWrapper, "getenv",
+              "system", false, 1, "CVE-2015-2051"),
+        // The previously-unknown command injection (paper §V-A1).
+        Plant("dir645_zero_cmdinj", VulnPattern::kWrapper, "getenv",
+              "system", false, 1, "unknown (reported)"),
+        // Sanitized twins: must NOT be reported.
+        Plant("dir645_safe_strcpy", VulnPattern::kDirect, "getenv",
+              "strcpy", true),
+        Plant("dir645_safe_system", VulnPattern::kDirect, "getenv",
+              "system", true),
+    };
+    SizeProgram(prog, 237, 14, 2.6);
+    s.paper_table2 = {"D-Link", "DIR-645_1.03", "MIPS", "cgibin",
+                      156,      237,            3414,   1087};
+    s.paper_table3 = {237, 176, 1.18, 7, 4};
+    specs.push_back(std::move(s));
+  }
+
+  // ---- 2. D-Link DIR-890L_1.03 (ARM, cgibin) ---------------------------
+  {
+    PaperImageSpec s;
+    s.firmware.vendor = "D-Link";
+    s.firmware.product = "DIR-890L";
+    s.firmware.version = "1.03";
+    s.firmware.release_year = 2015;
+    s.firmware.binary_path = "/htdocs/cgibin";
+    ProgramSpec& prog = s.firmware.program;
+    prog.name = "cgibin";
+    prog.arch = Arch::kDtArm;
+    prog.seed = 890;
+    prog.plants = {
+        // CVE-2016-5681: overlong session cookie into a 152-byte stack
+        // buffer via strcpy.
+        Plant("dir890l_cve_2016_5681", VulnPattern::kWrapper, "getenv",
+              "strcpy", false, 2, "CVE-2016-5681"),
+        // CVE-2015-2051 is shared with DIR-645 (same cgibin lineage).
+        Plant("dir890l_cve_2015_2051", VulnPattern::kDirect, "getenv",
+              "system", false, 0, "CVE-2015-2051"),
+        Plant("dir890l_safe_sprintf", VulnPattern::kDirect, "getenv",
+              "sprintf", true),
+        Plant("dir890l_safe_system", VulnPattern::kDirect, "getenv",
+              "system", true),
+    };
+    SizeProgram(prog, 358, 10, 2.5);
+    s.paper_table2 = {"D-Link", "DIR-890L_1.03", "ARM", "cgibin",
+                      151,      358,             3913,  1418};
+    s.paper_table3 = {358, 276, 1.48, 5, 2};
+    specs.push_back(std::move(s));
+  }
+
+  // ---- 3. Netgear DGN1000-V1.1.00.46 (MIPS, setup.cgi) ------------------
+  {
+    PaperImageSpec s;
+    s.firmware.vendor = "Netgear";
+    s.firmware.product = "DGN1000";
+    s.firmware.version = "V1.1.00.46";
+    s.firmware.release_year = 2014;
+    s.firmware.binary_path = "/usr/sbin/setup.cgi";
+    ProgramSpec& prog = s.firmware.program;
+    prog.name = "setup.cgi";
+    prog.arch = Arch::kDtMips;
+    prog.seed = 1000;
+    prog.plants = {
+        // CVE-2017-6334: host_name -> system.
+        Plant("dgn1000_cve_2017_6334", VulnPattern::kWrapper, "websGetVar",
+              "system", false, 2, "CVE-2017-6334"),
+        // CVE-2017-6077: ping_IPAddr -> system.
+        Plant("dgn1000_cve_2017_6077", VulnPattern::kDirect, "websGetVar",
+              "system", false, 0, "CVE-2017-6077"),
+        // Four previously-unknown command injections + one overflow
+        // (paper Table V).
+        Plant("dgn1000_zero_cmdinj1", VulnPattern::kWrapper, "websGetVar",
+              "system", false, 2, "unknown"),
+        Plant("dgn1000_zero_cmdinj2", VulnPattern::kDirect, "getenv",
+              "system", false, 0, "unknown"),
+        Plant("dgn1000_zero_cmdinj3", VulnPattern::kAliasChain, "recv",
+              "system", false, 0, "unknown (reviewing)"),
+        Plant("dgn1000_zero_overflow", VulnPattern::kLoopCopy, "recv",
+              "loop", false, 0, "unknown"),
+        Plant("dgn1000_safe_system", VulnPattern::kDirect, "websGetVar",
+              "system", true),
+        Plant("dgn1000_safe_strcpy", VulnPattern::kWrapper, "recv",
+              "strcpy", true),
+    };
+    SizeProgram(prog, 732, 7, 2.9);
+    s.paper_table2 = {"Netgear", "DGN1000-V1.1.00.46", "MIPS", "setup.cgi",
+                      331,       732,                  4943,   2457};
+    s.paper_table3 = {732, 958, 3.19, 19, 6};
+    specs.push_back(std::move(s));
+  }
+
+  // ---- 4. Netgear DGN2200-V1.0.0.50 (MIPS, httpd) -----------------------
+  {
+    PaperImageSpec s;
+    s.firmware.vendor = "Netgear";
+    s.firmware.product = "DGN2200";
+    s.firmware.version = "V1.0.0.50";
+    s.firmware.release_year = 2014;
+    s.firmware.binary_path = "/usr/sbin/httpd";
+    ProgramSpec& prog = s.firmware.program;
+    prog.name = "httpd";
+    prog.arch = Arch::kDtMips;
+    prog.seed = 2200;
+    prog.plants = {
+        // EDB-ID:43055: cmd -> popen.
+        Plant("dgn2200_edb_43055", VulnPattern::kWrapper, "find_var",
+              "popen", false, 2, "EDB-ID:43055"),
+        Plant("dgn2200_zero_cmdinj", VulnPattern::kWrapper, "getenv",
+              "system", false, 2, "unknown (reviewing)"),
+        Plant("dgn2200_safe_popen", VulnPattern::kDirect, "find_var",
+              "popen", true),
+        Plant("dgn2200_safe_memcpy", VulnPattern::kDirect, "recv",
+              "memcpy", true),
+    };
+    SizeProgram(prog, 796, 14, 3.2);
+    s.paper_table2 = {"Netgear", "DGN2200-V1.0.0.50", "MIPS", "httpd",
+                      994,       796,                 11183,  4497};
+    s.paper_table3 = {796, 1264, 6.62, 14, 2};
+    specs.push_back(std::move(s));
+  }
+
+  // ---- 5. Uniview IPC_6201 (ARM, mwareserver), scaled 1/10 --------------
+  {
+    PaperImageSpec s;
+    s.firmware.vendor = "Uniview";
+    s.firmware.product = "IPC";
+    s.firmware.version = "6201";
+    s.firmware.release_year = 2016;
+    s.firmware.binary_path = "/usr/bin/mwareserver";
+    ProgramSpec& prog = s.firmware.program;
+    prog.name = "mwareserver";
+    prog.arch = Arch::kDtArm;
+    prog.seed = 6201;
+    prog.plants = {
+        // The zero-day: RTSP "session" field, sscanf copies up to 254
+        // chars into a 180-byte stack buffer.
+        Plant("uniview_zero_sscanf", VulnPattern::kWrapper, "read",
+              "sscanf", false, 2, "unknown (reviewing)"),
+        Plant("uniview_safe_sscanf", VulnPattern::kDirect, "read",
+              "sscanf", true),
+        Plant("uniview_safe_memcpy", VulnPattern::kWrapper, "recv",
+              "memcpy", true, 0),
+    };
+    SizeProgram(prog, 671, 14, 3.4);
+    s.scale = 0.1;
+    s.paper_table2 = {"Uniview", "IPC_6201", "ARM",  "mwareserver",
+                      4813,      6714,       99958, 32495};
+    s.paper_table3 = {430, 447, 3.97, 10, 1};
+    // The paper analyzes the RTSP/HTTP module subset (430 of 6,714
+    // functions); here: the plant entries plus a filler slice.
+    s.focus = {"uniview_zero_sscanf_handler", "uniview_safe_sscanf_handler",
+               "uniview_safe_memcpy_handler"};
+    for (int i = 0; i < 40; ++i) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "fn_%05x", i);
+      s.focus.push_back(name);
+    }
+    specs.push_back(std::move(s));
+  }
+
+  // ---- 6. Hikvision DS-2CD6233F (ARM, centaurus), scaled 1/10 -----------
+  {
+    PaperImageSpec s;
+    s.firmware.vendor = "Hikvision";
+    s.firmware.product = "DS-2CD6233F";
+    s.firmware.version = "5.2";
+    s.firmware.release_year = 2016;
+    s.firmware.binary_path = "/usr/bin/centaurus";
+    ProgramSpec& prog = s.firmware.program;
+    prog.name = "centaurus";
+    prog.arch = Arch::kDtArm;
+    prog.seed = 6233;
+    prog.plants = {
+        // 1: 48-byte stack buffer memcpy with unchecked length.
+        Plant("hik_zero_memcpy", VulnPattern::kDirect, "read", "memcpy",
+              false, 0, "unknown (repaired)"),
+        // 2: two loop-copy overflows of a 2048-byte read.
+        Plant("hik_zero_loop1", VulnPattern::kLoopCopy, "read", "loop",
+              false, 0, "unknown (repaired)"),
+        Plant("hik_zero_loop2", VulnPattern::kLoopCopy, "read", "loop",
+              false, 0, "unknown (repaired)"),
+        // 3: three URL-parameter overflows "associated with pointer
+        // alias and the similarity of data structure" (§V-A4).
+        Plant("hik_zero_url1", VulnPattern::kAliasChain, "recv", "strcpy",
+              false, 0, "unknown (repaired)"),
+        Plant("hik_zero_url2", VulnPattern::kDispatch, "recv", "memcpy",
+              false, 0, "unknown (repaired)"),
+        Plant("hik_zero_url3", VulnPattern::kAliasChain, "recv", "memcpy",
+              false, 0, "unknown (repaired)"),
+        Plant("hik_safe_memcpy", VulnPattern::kDispatch, "recv", "memcpy",
+              true),
+        Plant("hik_safe_loop", VulnPattern::kLoopCopy, "read", "loop",
+              true),
+        Plant("hik_safe_strcpy", VulnPattern::kAliasChain, "recv",
+              "strcpy", true),
+    };
+    SizeProgram(prog, 1403, 14, 3.0);
+    s.scale = 0.1;
+    s.paper_table2 = {"Hikvision", "DS-2CD6233F", "ARM",   "centaurus",
+                      13199,       14035,         219945, 68974};
+    s.paper_table3 = {3233, 2052, 31.89, 30, 6};
+    // RTSP/HTTP/ONVIF/ISAPI module subset (3,233 of 14,035 -> scaled):
+    // all plant entries + a filler slice.
+    s.focus = {"hik_zero_memcpy_handler", "hik_zero_loop1_handler",
+               "hik_zero_loop2_handler",  "hik_zero_url1_entry",
+               "hik_zero_url2_entry",     "hik_zero_url3_entry",
+               "hik_safe_memcpy_entry",   "hik_safe_loop_handler",
+               "hik_safe_strcpy_entry"};
+    for (int i = 0; i < 300; ++i) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "fn_%05x", i);
+      s.focus.push_back(name);
+    }
+    specs.push_back(std::move(s));
+  }
+
+  return specs;
+}
+
+Result<FirmwareSynthOutput> BuildPaperImage(const PaperImageSpec& spec) {
+  return SynthesizeFirmware(spec.firmware);
+}
+
+}  // namespace dtaint

@@ -1,0 +1,60 @@
+// The six paper-shaped firmware images (paper Tables II-V).
+//
+// Each spec mirrors one row of Table II: vendor, product, architecture,
+// binary name, and program shape (function / block / call-edge
+// counts), with the image's vulnerabilities planted after Tables IV/V:
+// the same source/sink pairs, the same pattern classes (the three
+// Hikvision URL-parameter bugs use the alias and structure-similarity
+// patterns, as §V-A4 describes), plus sanitized twins so precision is
+// measurable. The two largest binaries (Uniview mwareserver, Hikvision
+// centaurus) are scaled to ~1/10 of their function counts — the paper
+// itself only analyzes a module subset of those — and the scale factor
+// is recorded so benches can report it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/synth/firmware_synth.h"
+
+namespace dtaint {
+
+struct PaperTable2Row {
+  std::string manufacturer;
+  std::string firmware_version;
+  std::string arch;
+  std::string binary;
+  int size_kb;
+  int functions;
+  int blocks;
+  int call_edges;
+};
+
+struct PaperTable3Row {
+  int analysis_functions;
+  int sinks;
+  double minutes;
+  int vulnerable_paths;
+  int vulnerabilities;
+};
+
+struct PaperImageSpec {
+  FirmwareSpec firmware;
+  PaperTable2Row paper_table2;   // the values the paper reports
+  PaperTable3Row paper_table3;
+  double scale = 1.0;            // our function count / paper's
+  /// Non-empty: analyze only these entry functions plus their callees
+  /// (the paper's module restriction for the two big binaries).
+  std::vector<std::string> focus;
+};
+
+/// All six images, in Table II order.
+std::vector<PaperImageSpec> PaperImageSpecs();
+
+/// Builds one image (binary + rootfs + ground truth).
+Result<FirmwareSynthOutput> BuildPaperImage(const PaperImageSpec& spec);
+
+/// Number of functions a plant contributes (used to size fillers).
+int PlantFunctionCount(const PlantSpec& plant);
+
+}  // namespace dtaint

@@ -1,0 +1,21 @@
+#include "src/synth/progspec.h"
+
+namespace dtaint {
+
+std::string_view VulnPatternName(VulnPattern pattern) {
+  switch (pattern) {
+    case VulnPattern::kDirect:
+      return "direct";
+    case VulnPattern::kWrapper:
+      return "wrapper";
+    case VulnPattern::kAliasChain:
+      return "alias-chain";
+    case VulnPattern::kDispatch:
+      return "dispatch";
+    case VulnPattern::kLoopCopy:
+      return "loop-copy";
+  }
+  return "?";
+}
+
+}  // namespace dtaint

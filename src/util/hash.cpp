@@ -1,0 +1,23 @@
+#include "src/util/hash.h"
+
+namespace dtaint {
+
+uint64_t Fnv1a(std::span<const uint8_t> bytes, uint64_t seed) {
+  uint64_t h = seed;
+  for (uint8_t b : bytes) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t Fnv1a(std::string_view text, uint64_t seed) {
+  uint64_t h = seed;
+  for (char c : text) {
+    h ^= static_cast<uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace dtaint

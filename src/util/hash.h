@@ -1,0 +1,28 @@
+// FNV-1a hashing and hash-combining helpers.
+//
+// Used for heap-pointer identity (hash of the callsite chain, paper
+// §III-E), expression interning, and firmware image checksums.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace dtaint {
+
+inline constexpr uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+inline constexpr uint64_t kFnvPrime = 0x100000001B3ULL;
+
+/// 64-bit FNV-1a over raw bytes.
+uint64_t Fnv1a(std::span<const uint8_t> bytes, uint64_t seed = kFnvOffset);
+
+/// 64-bit FNV-1a over a string.
+uint64_t Fnv1a(std::string_view text, uint64_t seed = kFnvOffset);
+
+/// Mixes a 64-bit value into an existing hash (order-sensitive).
+constexpr uint64_t HashCombine(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace dtaint

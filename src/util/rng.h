@@ -1,0 +1,44 @@
+// Deterministic, seedable pseudo-random generator used by the firmware
+// synthesizer and the corpus models. All experiments are reproducible
+// given a fixed seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dtaint {
+
+/// SplitMix64-based PRNG: tiny, fast, good distribution, fully
+/// deterministic across platforms (unlike std::mt19937 distributions).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Chance(double p);
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Picks an index according to non-negative weights; returns
+  /// weights.size() == 0 ? 0 : chosen index. All-zero weights pick 0.
+  size_t WeightedPick(const std::vector<double>& weights);
+
+  /// Derives an independent child generator (stable for given label).
+  Rng Fork(uint64_t label);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace dtaint

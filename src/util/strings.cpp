@@ -1,0 +1,60 @@
+#include "src/util/strings.h"
+
+#include <cstdio>
+
+namespace dtaint {
+
+std::string HexStr(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string PadRight(std::string_view text, size_t width) {
+  std::string out(text.substr(0, width));
+  out.resize(width, ' ');
+  return out;
+}
+
+std::string PadLeft(std::string_view text, size_t width) {
+  if (text.size() >= width) return std::string(text.substr(0, width));
+  std::string out(width - text.size(), ' ');
+  out += text;
+  return out;
+}
+
+std::string FmtDouble(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string WithCommas(uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) out += ',';
+    out += *it;
+    ++count;
+  }
+  return std::string(out.rbegin(), out.rend());
+}
+
+}  // namespace dtaint

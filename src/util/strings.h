@@ -1,0 +1,32 @@
+// Small string formatting helpers shared by printers and reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dtaint {
+
+/// Formats v as "0x<hex>" without leading zeros (0 -> "0x0").
+std::string HexStr(uint64_t v);
+
+/// Joins parts with sep: Join({"a","b"}, ", ") == "a, b".
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if text starts with prefix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Pads or truncates to exactly width columns (left-aligned).
+std::string PadRight(std::string_view text, size_t width);
+
+/// Pads on the left (right-aligned numbers in tables).
+std::string PadLeft(std::string_view text, size_t width);
+
+/// Formats a double with the given number of decimals.
+std::string FmtDouble(double v, int decimals);
+
+/// Formats an integer with thousands separators: 1234567 -> "1,234,567".
+std::string WithCommas(uint64_t v);
+
+}  // namespace dtaint

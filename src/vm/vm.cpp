@@ -1,0 +1,384 @@
+#include "src/vm/vm.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "src/isa/decode.h"
+#include "src/util/strings.h"
+
+namespace dtaint {
+
+namespace {
+
+/// lr value planted at the entry so the final Ret is recognizable.
+constexpr uint32_t kRetSentinel = 0xDEAD0000;
+
+int32_t Signed(uint32_t v) { return static_cast<int32_t>(v); }
+
+}  // namespace
+
+Vm::Vm(const Binary& binary, VmConfig config)
+    : binary_(binary), config_(std::move(config)) {
+  // Map every initialized section into guest memory (dispatch tables in
+  // .data, strings in .rodata, and .text for completeness).
+  for (const Section& sec : binary_.sections) {
+    for (size_t i = 0; i < sec.bytes.size(); ++i) {
+      mem_[sec.addr + static_cast<uint32_t>(i)] = sec.bytes[i];
+    }
+  }
+}
+
+uint8_t Vm::ReadByte(uint32_t addr) const {
+  auto it = mem_.find(addr);
+  return it == mem_.end() ? 0 : it->second;
+}
+
+uint32_t Vm::ReadWordMem(uint32_t addr) const {
+  // Word accesses honor the flavor's data endianness (dispatch tables
+  // and .rodata words were laid out by the arch-aware writer).
+  uint8_t bytes[4] = {ReadByte(addr), ReadByte(addr + 1),
+                      ReadByte(addr + 2), ReadByte(addr + 3)};
+  return ReadWord(binary_.arch, bytes);
+}
+
+void Vm::WriteByte(uint32_t addr, uint8_t value, uint32_t site,
+                   bool is_prologue_store) {
+  if (!is_prologue_store && armed_lr_slots_.count(addr & ~3u)) {
+    Flag(ViolationKind::kStackSmash, site,
+         "write to saved return address at " + HexStr(addr & ~3u));
+    if (config_.stop_on_violation) {
+      halt_ = true;
+      return;
+    }
+  }
+  mem_[addr] = value;
+}
+
+void Vm::WriteWordMem(uint32_t addr, uint32_t value, uint32_t site,
+                      bool is_prologue_store) {
+  uint8_t bytes[4];
+  WriteWord(binary_.arch, bytes, value);
+  for (int i = 0; i < 4; ++i) {
+    WriteByte(addr + i, bytes[i], site, is_prologue_store);
+    if (halt_) return;
+  }
+}
+
+void Vm::Flag(ViolationKind kind, uint32_t site, std::string detail) {
+  result_.violations.push_back({kind, site, std::move(detail)});
+}
+
+uint32_t Vm::Arg(int index) const {
+  const CallingConvention& cc = ConventionFor(binary_.arch);
+  if (index < kNumRegArgs) return regs_[cc.arg_regs[index]];
+  return ReadWordMem(regs_[kRegSp] +
+                     static_cast<uint32_t>(cc.StackArgOffset(index)));
+}
+
+uint32_t Vm::FeedAttackerBytes(uint32_t dst, uint32_t max_len,
+                               bool nul_terminate, uint32_t site) {
+  uint32_t written = 0;
+  while (written < max_len &&
+         attacker_cursor_ < config_.attacker_bytes.size()) {
+    WriteByte(dst + written, config_.attacker_bytes[attacker_cursor_],
+              site, false);
+    if (halt_) return written;
+    ++attacker_cursor_;
+    ++written;
+  }
+  if (nul_terminate) WriteByte(dst + written, 0, site, false);
+  return written;
+}
+
+std::string Vm::ReadCString(uint32_t addr, uint32_t cap) const {
+  std::string out;
+  for (uint32_t i = 0; i < cap; ++i) {
+    uint8_t c = ReadByte(addr + i);
+    if (c == 0) break;
+    out += static_cast<char>(c);
+  }
+  return out;
+}
+
+bool Vm::HandleImport(const std::string& name, uint32_t site) {
+  const CallingConvention& cc = ConventionFor(binary_.arch);
+  uint32_t ret = 0;
+
+  auto copy_n = [&](uint32_t dst, uint32_t src, uint32_t n) {
+    for (uint32_t i = 0; i < n && !halt_; ++i) {
+      WriteByte(dst + i, ReadByte(src + i), site, false);
+    }
+  };
+  auto copy_cstring = [&](uint32_t dst, uint32_t src,
+                          uint32_t cap) -> uint32_t {
+    uint32_t i = 0;
+    for (; i < cap && !halt_; ++i) {
+      uint8_t c = ReadByte(src + i);
+      WriteByte(dst + i, c, site, false);
+      if (c == 0) break;
+    }
+    return i;
+  };
+
+  if (name == "recv" || name == "read" || name == "recvfrom" ||
+      name == "recvmsg") {
+    ret = FeedAttackerBytes(Arg(1), Arg(2), false, site);
+  } else if (name == "fgets") {
+    uint32_t len = Arg(1);
+    FeedAttackerBytes(Arg(0), len > 0 ? len - 1 : 0, true, site);
+    ret = Arg(0);
+  } else if (name == "getenv" || name == "websGetVar" ||
+             name == "find_var") {
+    uint32_t str = scratch_bump_;
+    uint32_t n = FeedAttackerBytes(str, 1024, true, site);
+    scratch_bump_ += n + 16;
+    ret = str;
+  } else if (name == "strcpy") {
+    copy_cstring(Arg(0), Arg(1), 1u << 16);
+    ret = Arg(0);
+  } else if (name == "strncpy") {
+    copy_n(Arg(0), Arg(1), Arg(2));
+    ret = Arg(0);
+  } else if (name == "strcat") {
+    uint32_t dst = Arg(0);
+    while (ReadByte(dst) != 0) ++dst;
+    copy_cstring(dst, Arg(1), 1u << 16);
+    ret = Arg(0);
+  } else if (name == "memcpy") {
+    copy_n(Arg(0), Arg(1), Arg(2));
+    ret = Arg(0);
+  } else if (name == "sprintf" || name == "snprintf") {
+    bool bounded = name == "snprintf";
+    uint32_t dst = Arg(0);
+    uint32_t cap = bounded ? Arg(1) : 0xFFFFFFFF;
+    std::string fmt = ReadCString(Arg(bounded ? 2 : 1));
+    int vararg = bounded ? 3 : 2;
+    std::string expanded;
+    for (size_t i = 0; i < fmt.size(); ++i) {
+      if (fmt[i] == '%' && i + 1 < fmt.size() && fmt[i + 1] == 's') {
+        expanded += ReadCString(Arg(vararg++));
+        ++i;
+      } else {
+        expanded += fmt[i];
+      }
+    }
+    uint32_t n = std::min<uint32_t>(
+        static_cast<uint32_t>(expanded.size()), cap);
+    for (uint32_t i = 0; i < n && !halt_; ++i) {
+      WriteByte(dst + i, static_cast<uint8_t>(expanded[i]), site, false);
+    }
+    if (!halt_) WriteByte(dst + n, 0, site, false);
+    ret = n;
+  } else if (name == "sscanf") {
+    // Supports the "%<width>s" conversions the synthesizer emits.
+    std::string fmt = ReadCString(Arg(1));
+    uint32_t width = 0xFFFFFFFF;
+    size_t pct = fmt.find('%');
+    if (pct != std::string::npos) {
+      uint32_t w = 0;
+      for (size_t i = pct + 1; i < fmt.size() && isdigit(fmt[i]); ++i) {
+        w = w * 10 + static_cast<uint32_t>(fmt[i] - '0');
+      }
+      if (w) width = w;
+    }
+    uint32_t src = Arg(0), dst = Arg(2), i = 0;
+    for (; i < width && !halt_; ++i) {
+      uint8_t c = ReadByte(src + i);
+      if (c == 0 || c == ' ' || c == '\n') break;
+      WriteByte(dst + i, c, site, false);
+    }
+    if (!halt_) WriteByte(dst + i, 0, site, false);
+    ret = 1;
+  } else if (name == "system" || name == "popen") {
+    std::string cmd = ReadCString(Arg(0));
+    result_.executed_commands.push_back(cmd);
+    if (cmd.find(';') != std::string::npos) {
+      Flag(ViolationKind::kCommandInjection, site,
+           name + "(\"" + cmd + "\")");
+      if (config_.stop_on_violation) halt_ = true;
+    }
+  } else if (name == "malloc") {
+    ret = heap_bump_;
+    heap_bump_ += (Arg(0) + 19) & ~3u;
+  } else if (name == "strlen") {
+    ret = static_cast<uint32_t>(ReadCString(Arg(0)).size());
+  } else if (name == "strcmp") {
+    ret = static_cast<uint32_t>(
+        ReadCString(Arg(0)).compare(ReadCString(Arg(1))));
+  } else if (name == "atoi") {
+    ret = static_cast<uint32_t>(std::atoi(ReadCString(Arg(0)).c_str()));
+  } else if (name == "exit") {
+    halt_ = true;
+    result_.halted_cleanly = true;
+  }
+  // Unmodeled imports (printf, socket, ...) return 0 and do nothing.
+  regs_[cc.ret_reg] = ret;
+  return !halt_;
+}
+
+Result<VmResult> Vm::Run(const std::string& function) {
+  const Symbol* entry = binary_.FindSymbol(function);
+  if (!entry) return NotFound("no such function: " + function);
+
+  uint32_t pc = entry->addr;
+  regs_[kRegSp] = kVmStackBase;
+  regs_[kRegLr] = kRetSentinel;
+  halt_ = false;
+
+  while (!halt_ && result_.steps < config_.max_steps) {
+    ++result_.steps;
+    auto word = binary_.ReadWordAt(pc);
+    if (!word.ok()) return CorruptData("pc left mapped memory");
+    auto decoded = Decode(*word);
+    if (!decoded.ok()) return decoded.status();
+    const Insn& insn = *decoded;
+    uint32_t next_pc = pc + kInsnSize;
+    uint32_t imm = static_cast<uint32_t>(insn.imm);
+
+    auto alu = [&](uint32_t a, uint32_t b) -> uint32_t {
+      switch (insn.op) {
+        case Op::kAddR: case Op::kAddI: return a + b;
+        case Op::kSubR: case Op::kSubI: return a - b;
+        case Op::kMulR: return a * b;
+        case Op::kAndR: case Op::kAndI: return a & b;
+        case Op::kOrrR: case Op::kOrrI: return a | b;
+        case Op::kXorR: case Op::kXorI: return a ^ b;
+        case Op::kLslI: return imm >= 32 ? 0 : a << imm;
+        case Op::kLsrI: return imm >= 32 ? 0 : a >> imm;
+        default: return 0;
+      }
+    };
+    auto take_branch = [&]() -> bool {
+      switch (insn.op) {
+        case Op::kBeq: return flag_lhs_ == flag_rhs_;
+        case Op::kBne: return flag_lhs_ != flag_rhs_;
+        case Op::kBlt: return Signed(flag_lhs_) < Signed(flag_rhs_);
+        case Op::kBge: return Signed(flag_lhs_) >= Signed(flag_rhs_);
+        case Op::kBle: return Signed(flag_lhs_) <= Signed(flag_rhs_);
+        case Op::kBgt: return Signed(flag_lhs_) > Signed(flag_rhs_);
+        default: return true;
+      }
+    };
+
+    switch (insn.op) {
+      case Op::kMovR: regs_[insn.rd] = regs_[insn.rm]; break;
+      case Op::kMovI: regs_[insn.rd] = imm; break;
+      case Op::kMovHi:
+        regs_[insn.rd] = (regs_[insn.rd] & 0xFFFF) | (imm << 16);
+        break;
+      case Op::kAddR: case Op::kSubR: case Op::kMulR: case Op::kAndR:
+      case Op::kOrrR: case Op::kXorR:
+        regs_[insn.rd] = alu(regs_[insn.rn], regs_[insn.rm]);
+        break;
+      case Op::kAddI: case Op::kSubI: case Op::kAndI: case Op::kOrrI:
+      case Op::kXorI: case Op::kLslI: case Op::kLsrI:
+        regs_[insn.rd] = alu(regs_[insn.rn], imm);
+        break;
+      case Op::kLdrW:
+        regs_[insn.rd] = ReadWordMem(regs_[insn.rn] + imm);
+        break;
+      case Op::kLdrB:
+        regs_[insn.rd] = ReadByte(regs_[insn.rn] + imm);
+        break;
+      case Op::kLdrWR:
+        regs_[insn.rd] = ReadWordMem(regs_[insn.rn] + regs_[insn.rm]);
+        break;
+      case Op::kLdrBR:
+        regs_[insn.rd] = ReadByte(regs_[insn.rn] + regs_[insn.rm]);
+        break;
+      case Op::kStrW: {
+        // A prologue's save of lr below sp arms the canary slot.
+        bool prologue_store =
+            insn.rd == kRegLr && insn.rn == kRegSp;
+        uint32_t addr = regs_[insn.rn] + imm;
+        if (prologue_store) armed_lr_slots_.insert(addr & ~3u);
+        WriteWordMem(addr, regs_[insn.rd], pc, prologue_store);
+        break;
+      }
+      case Op::kStrB:
+        WriteByte(regs_[insn.rn] + imm,
+                  static_cast<uint8_t>(regs_[insn.rd]), pc, false);
+        break;
+      case Op::kStrWR:
+        WriteWordMem(regs_[insn.rn] + regs_[insn.rm], regs_[insn.rd], pc);
+        break;
+      case Op::kStrBR:
+        WriteByte(regs_[insn.rn] + regs_[insn.rm],
+                  static_cast<uint8_t>(regs_[insn.rd]), pc, false);
+        break;
+      case Op::kCmpR:
+        flag_lhs_ = regs_[insn.rn];
+        flag_rhs_ = regs_[insn.rm];
+        break;
+      case Op::kCmpI:
+        flag_lhs_ = regs_[insn.rn];
+        flag_rhs_ = imm;
+        break;
+      case Op::kB:
+        next_pc = next_pc + static_cast<uint32_t>(insn.imm * 4);
+        break;
+      case Op::kBeq: case Op::kBne: case Op::kBlt: case Op::kBge:
+      case Op::kBle: case Op::kBgt:
+        if (take_branch()) {
+          next_pc = next_pc + static_cast<uint32_t>(insn.imm * 4);
+        }
+        break;
+      case Op::kBl: {
+        uint32_t target = next_pc + static_cast<uint32_t>(insn.imm * 4);
+        regs_[kRegLr] = next_pc;
+        if (const Import* imp = binary_.ImportAt(target)) {
+          if (!HandleImport(imp->name, pc)) break;
+          // pc simply falls through to next_pc.
+        } else {
+          ++call_depth_;
+          next_pc = target;
+        }
+        break;
+      }
+      case Op::kBlr: {
+        uint32_t target = regs_[insn.rm];
+        regs_[kRegLr] = next_pc;
+        if (const Import* imp = binary_.ImportAt(target)) {
+          if (!HandleImport(imp->name, pc)) break;
+        } else if (binary_.SymbolAt(target)) {
+          ++call_depth_;
+          next_pc = target;
+        } else {
+          return CorruptData("indirect call to unmapped target " +
+                             HexStr(target));
+        }
+        break;
+      }
+      case Op::kRet: {
+        uint32_t target = regs_[kRegLr];
+        // Disarm canaries of frames that are now popped.
+        for (auto it = armed_lr_slots_.begin();
+             it != armed_lr_slots_.end();) {
+          if (*it < regs_[kRegSp]) {
+            it = armed_lr_slots_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        if (target == kRetSentinel) {
+          result_.halted_cleanly = true;
+          halt_ = true;
+          break;
+        }
+        --call_depth_;
+        next_pc = target;
+        break;
+      }
+      case Op::kNop:
+      case Op::kSvc:
+        break;
+      case Op::kInvalid:
+        return CorruptData("invalid instruction executed");
+    }
+    pc = next_pc;
+  }
+  return result_;
+}
+
+}  // namespace dtaint

@@ -1,0 +1,123 @@
+// Concrete DT-RISC virtual machine — the dynamic-verification stage.
+//
+// The paper validates findings on physical devices ("We use real
+// devices for verifying these vulnerabilities"). Our devices are
+// synthesized, so verification runs here instead: the VM executes the
+// binary from a chosen entry function with attacker-scripted input
+// feeding the source functions (recv/read/getenv/...), models the libc
+// sinks byte-concretely, and watches for the exploit actually landing:
+//
+//  * stack smash — any write (raw store or modeled copy) that
+//    overwrites a frame's saved return address. Function prologues
+//    save lr at [sp + frame - 4]; the VM arms that slot like a canary
+//    when the prologue writes it and flags any other writer.
+//  * command injection — system()/popen() invoked with a command
+//    string containing an attacker-supplied ';'.
+//
+// A static Finding plus a VM violation at the same sink is a confirmed
+// proof-of-concept; a sanitized twin must execute the same input with
+// no violation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/binary/binary.h"
+#include "src/util/status.h"
+
+namespace dtaint {
+
+/// What went wrong (from the device's point of view) during execution.
+enum class ViolationKind : uint8_t {
+  kStackSmash,        // saved return address overwritten
+  kCommandInjection,  // ';' reached system()/popen()
+};
+
+struct Violation {
+  ViolationKind kind;
+  uint32_t site = 0;        // guest pc of the offending instruction/call
+  std::string detail;
+};
+
+struct VmResult {
+  bool halted_cleanly = false;  // returned from the entry function
+  uint64_t steps = 0;
+  std::vector<Violation> violations;
+  /// Commands that reached system()/popen() (attack forensics).
+  std::vector<std::string> executed_commands;
+
+  bool Smashed() const {
+    for (const Violation& v : violations) {
+      if (v.kind == ViolationKind::kStackSmash) return true;
+    }
+    return false;
+  }
+  bool Injected() const {
+    for (const Violation& v : violations) {
+      if (v.kind == ViolationKind::kCommandInjection) return true;
+    }
+    return false;
+  }
+};
+
+struct VmConfig {
+  uint64_t max_steps = 200000;
+  /// Bytes handed out by source functions (recv/read/fgets consume a
+  /// prefix per call; getenv-style sources return it as a C string).
+  std::vector<uint8_t> attacker_bytes;
+  /// Stop at the first violation (default) or keep running.
+  bool stop_on_violation = true;
+};
+
+class Vm {
+ public:
+  Vm(const Binary& binary, VmConfig config);
+
+  /// Executes from the entry of `function` until it returns, a
+  /// violation fires (with stop_on_violation), or budgets run out.
+  Result<VmResult> Run(const std::string& function);
+
+ private:
+  // -- memory ----------------------------------------------------------------
+  uint8_t ReadByte(uint32_t addr) const;
+  uint32_t ReadWordMem(uint32_t addr) const;
+  /// All guest-visible writes funnel through here (canary check).
+  void WriteByte(uint32_t addr, uint8_t value, uint32_t site,
+                 bool is_prologue_store);
+  void WriteWordMem(uint32_t addr, uint32_t value, uint32_t site,
+                    bool is_prologue_store = false);
+
+  // -- libc models -----------------------------------------------------------
+  /// Executes the import called at `site`; returns false to halt.
+  bool HandleImport(const std::string& name, uint32_t site);
+  uint32_t Arg(int index) const;
+  /// Copies attacker bytes into guest memory; returns count written.
+  uint32_t FeedAttackerBytes(uint32_t dst, uint32_t max_len,
+                             bool nul_terminate, uint32_t site);
+  std::string ReadCString(uint32_t addr, uint32_t cap = 4096) const;
+
+  void Flag(ViolationKind kind, uint32_t site, std::string detail);
+
+  const Binary& binary_;
+  VmConfig config_;
+  VmResult result_;
+
+  uint32_t regs_[kNumRegs] = {};
+  uint32_t flag_lhs_ = 0, flag_rhs_ = 0;
+  std::map<uint32_t, uint8_t> mem_;
+  std::set<uint32_t> armed_lr_slots_;  // canary addresses
+  size_t attacker_cursor_ = 0;         // consumed prefix of the script
+  uint32_t heap_bump_ = 0xB0000000;    // malloc arena
+  uint32_t scratch_bump_ = 0xC0000000; // getenv-string arena
+  int call_depth_ = 0;
+  bool halt_ = false;
+};
+
+/// Stack base the VM starts with (sp at the entry function).
+inline constexpr uint32_t kVmStackBase = 0x7FFF0000;
+
+}  // namespace dtaint

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "src/core/alias.h"
+
+namespace dtaint {
+namespace {
+
+DefPair MakeDef(SymRef d, SymRef u) {
+  DefPair dp;
+  dp.d = std::move(d);
+  dp.u = std::move(u);
+  return dp;
+}
+
+TEST(IsPointerValue, StructuralEvidence) {
+  TypeMap types;
+  EXPECT_TRUE(IsPointerValue(SymExpr::Heap(1), types));
+  EXPECT_TRUE(IsPointerValue(SymAdd(SymExpr::Sp0(), -0x40), types));
+  EXPECT_FALSE(IsPointerValue(SymExpr::Arg(0), types));
+  types.Observe(SymExpr::Arg(0), ValueType::kPtr);
+  EXPECT_TRUE(IsPointerValue(SymExpr::Arg(0), types));
+  EXPECT_FALSE(IsPointerValue(SymExpr::Const(4), types));
+}
+
+TEST(AliasReplace, PaperFormulaCase) {
+  // *(q+4) = p where p = heap pointer: deref(q+4) aliases p, so the
+  // tainted def through p gains a twin through deref(q+4).
+  FunctionSummary summary;
+  SymRef q = SymExpr::Arg(0);
+  SymRef p = SymExpr::Heap(42);
+  SymRef store_loc = SymExpr::Deref(SymAdd(q, 4));
+  summary.def_pairs.push_back(MakeDef(store_loc, p));
+  // A definition through p: *(p) = taint.
+  summary.def_pairs.push_back(
+      MakeDef(SymExpr::Deref(p), SymExpr::Taint(0x10, "recv")));
+
+  AliasResult result = AliasReplace(summary);
+  ASSERT_EQ(result.facts.size(), 1u);
+  EXPECT_TRUE(SymExpr::Equal(result.facts[0].alias_loc, store_loc));
+  EXPECT_TRUE(SymExpr::Equal(result.facts[0].base, p));
+  EXPECT_EQ(result.facts[0].offset, 0);
+  ASSERT_EQ(result.pairs_added, 1u);
+  // The twin: deref(deref(arg0+0x4)) = taint.
+  const DefPair& twin = summary.def_pairs.back();
+  EXPECT_EQ(twin.d->ToString(), "deref(deref(arg0+0x4))");
+  EXPECT_TRUE(twin.u->IsTainted());
+}
+
+TEST(AliasReplace, OffsetAdjustment) {
+  // *(q+4) = base + 8: locations through `base` rewrite to
+  // deref(q+4) - 8.
+  FunctionSummary summary;
+  SymRef base = SymExpr::Heap(7);
+  summary.types.Observe(base, ValueType::kPtr);
+  SymRef store_loc = SymExpr::Deref(SymAdd(SymExpr::Arg(0), 4));
+  summary.def_pairs.push_back(MakeDef(store_loc, SymAdd(base, 8)));
+  summary.def_pairs.push_back(
+      MakeDef(SymExpr::Deref(SymAdd(base, 12)), SymExpr::Const(1)));
+
+  AliasReplace(summary);
+  bool found = false;
+  for (const DefPair& dp : summary.def_pairs) {
+    // deref((deref(arg0+0x4)-8)+12) normalizes to
+    // deref(deref(arg0+0x4)+0x4).
+    if (dp.d->ToString() == "deref(deref(arg0+0x4)+0x4)") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AliasReplace, NoSelfAliasLoop) {
+  // deref(arg0) = arg0 + 4 must not rewrite itself endlessly.
+  FunctionSummary summary;
+  summary.types.Observe(SymExpr::Arg(0), ValueType::kPtr);
+  summary.def_pairs.push_back(
+      MakeDef(SymExpr::Deref(SymExpr::Arg(0)), SymAdd(SymExpr::Arg(0), 4)));
+  AliasResult result = AliasReplace(summary);
+  // Terminates; at most a bounded number of twins.
+  EXPECT_LE(result.pairs_added, 2u);
+}
+
+TEST(AliasReplace, NonPointerValuesIgnored) {
+  FunctionSummary summary;
+  summary.def_pairs.push_back(MakeDef(
+      SymExpr::Deref(SymAdd(SymExpr::Arg(0), 4)), SymExpr::Const(100)));
+  AliasResult result = AliasReplace(summary);
+  EXPECT_TRUE(result.facts.empty());
+  EXPECT_EQ(result.pairs_added, 0u);
+}
+
+TEST(AliasReplace, MultiBasePointerVariable) {
+  // The paper's example: deref(deref(arg0+0x58)+0xEC) contains base
+  // pointers arg0 and deref(arg0+0x58); an alias for the inner one
+  // rewrites the outer location.
+  FunctionSummary summary;
+  SymRef inner = SymExpr::Deref(SymAdd(SymExpr::Arg(0), 0x58));
+  summary.types.Observe(inner, ValueType::kPtr);
+  // Alias fact source: *(arg1) = deref(arg0+0x58)'s value.
+  summary.def_pairs.push_back(
+      MakeDef(SymExpr::Deref(SymExpr::Arg(1)), inner));
+  // A def through the chain.
+  summary.def_pairs.push_back(
+      MakeDef(SymExpr::Deref(SymAdd(inner, 0xEC)), SymExpr::Const(5)));
+  AliasReplace(summary);
+  bool found = false;
+  for (const DefPair& dp : summary.def_pairs) {
+    if (dp.d->ToString() == "deref(deref(arg1)+0xec)") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace dtaint

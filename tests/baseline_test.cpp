@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "src/baseline/worklist_ddg.h"
+#include "src/binary/writer.h"
+#include "src/isa/asm_builder.h"
+
+namespace dtaint {
+namespace {
+
+Program BuildProgramFrom(BinaryWriter& writer) {
+  Binary bin = writer.Build().value();
+  // Keep the Binary alive for the Program's lifetime via a static; the
+  // tests below only need one program at a time.
+  static Binary held;
+  held = std::move(bin);
+  CfgBuilder builder(held);
+  return builder.BuildProgram().value();
+}
+
+TEST(Baseline, AnalyzesEveryReachableFunction) {
+  BinaryWriter writer(Arch::kDtArm, "t");
+  {
+    FnBuilder b("leaf");
+    b.Ret();
+    writer.AddFunction(std::move(b).Finish().value());
+  }
+  {
+    FnBuilder b("main");
+    b.Call("leaf");
+    b.Ret();
+    writer.AddFunction(std::move(b).Finish().value());
+  }
+  Program program = BuildProgramFrom(writer);
+  BaselineStats stats = RunWorklistDdg(program, {"main"});
+  EXPECT_EQ(stats.contexts_analyzed, 2u);
+  EXPECT_GT(stats.block_executions, 0u);
+}
+
+TEST(Baseline, ContextSensitivityMultipliesWork) {
+  // leaf called from two different sites -> two contexts for leaf.
+  BinaryWriter writer(Arch::kDtArm, "t");
+  {
+    FnBuilder b("leaf");
+    b.MovI(1, 1);
+    b.Ret();
+    writer.AddFunction(std::move(b).Finish().value());
+  }
+  {
+    FnBuilder b("mid");
+    b.Call("leaf");
+    b.Ret();
+    writer.AddFunction(std::move(b).Finish().value());
+  }
+  {
+    FnBuilder b("main");
+    b.Call("leaf");
+    b.Call("mid");
+    b.Ret();
+    writer.AddFunction(std::move(b).Finish().value());
+  }
+  Program program = BuildProgramFrom(writer);
+  BaselineStats stats = RunWorklistDdg(program, {"main"});
+  // main(1) + leaf via main + mid + leaf via mid = 4 contexts for 3 fns.
+  EXPECT_EQ(stats.contexts_analyzed, 4u);
+  int leaf_contexts = 0;
+  for (const std::string& name : stats.context_functions) {
+    if (name == "leaf") ++leaf_contexts;
+  }
+  EXPECT_EQ(leaf_contexts, 2);
+}
+
+TEST(Baseline, DependenceEdgesMaterialized) {
+  BinaryWriter writer(Arch::kDtArm, "t");
+  FnBuilder b("f");
+  b.MovI(1, 5);     // def r1
+  b.AddI(2, 1, 1);  // use r1, def r2
+  b.MovR(3, 2);     // use r2
+  b.StrW(3, 13, 0); // use r3, def mem
+  b.LdrW(4, 13, 0); // use mem
+  b.Ret();
+  writer.AddFunction(std::move(b).Finish().value());
+  Program program = BuildProgramFrom(writer);
+  BaselineStats stats = RunWorklistDdg(program, {"f"});
+  EXPECT_GE(stats.dependence_edges, 4u);
+}
+
+TEST(Baseline, LoopIteratesToFixpoint) {
+  BinaryWriter writer(Arch::kDtArm, "t");
+  FnBuilder b("f");
+  b.MovI(1, 0);
+  b.Label("top");
+  b.AddI(1, 1, 1);
+  b.CmpI(1, 10);
+  b.Blt("top");
+  b.Ret();
+  writer.AddFunction(std::move(b).Finish().value());
+  Program program = BuildProgramFrom(writer);
+  BaselineStats stats = RunWorklistDdg(program, {"f"});
+  // The loop body executes more than once (merge changes the state).
+  EXPECT_GT(stats.block_executions, program.TotalBlocks());
+}
+
+TEST(Baseline, RecursionTerminatesViaContextLimit) {
+  BinaryWriter writer(Arch::kDtArm, "t");
+  {
+    FnBuilder b("rec");
+    b.Call("rec");
+    b.Ret();
+    writer.AddFunction(std::move(b).Finish().value());
+  }
+  Program program = BuildProgramFrom(writer);
+  BaselineConfig config;
+  config.context_depth = 2;
+  BaselineStats stats = RunWorklistDdg(program, {"rec"}, config);
+  // k-limiting folds the infinite chain onto finitely many contexts.
+  EXPECT_LE(stats.contexts_analyzed, 4u);
+}
+
+TEST(Baseline, BudgetExhaustionFlagged) {
+  BinaryWriter writer(Arch::kDtArm, "t");
+  for (int i = 9; i >= 0; --i) {
+    FnBuilder b("f" + std::to_string(i));
+    if (i < 9) {
+      b.Call("f" + std::to_string(i + 1));
+      b.Call("f" + std::to_string(i + 1));
+    }
+    b.Ret();
+    writer.AddFunction(std::move(b).Finish().value());
+  }
+  Program program = BuildProgramFrom(writer);
+  BaselineConfig config;
+  config.max_contexts = 5;
+  BaselineStats stats = RunWorklistDdg(program, {"f0"}, config);
+  EXPECT_TRUE(stats.budget_exhausted);
+  EXPECT_EQ(stats.contexts_analyzed, 5u);
+}
+
+TEST(Baseline, DefaultRootsAreUncalledFunctions) {
+  BinaryWriter writer(Arch::kDtArm, "t");
+  {
+    FnBuilder b("helper");
+    b.Ret();
+    writer.AddFunction(std::move(b).Finish().value());
+  }
+  {
+    FnBuilder b("entry");
+    b.Call("helper");
+    b.Ret();
+    writer.AddFunction(std::move(b).Finish().value());
+  }
+  Program program = BuildProgramFrom(writer);
+  BaselineStats stats = RunWorklistDdg(program);  // no explicit roots
+  EXPECT_EQ(stats.context_functions.front(), "entry");
+}
+
+}  // namespace
+}  // namespace dtaint
+
+// ---- naive reachability baseline (appended) ---------------------------------
+
+#include "src/baseline/naive_reachability.h"
+
+namespace dtaint {
+namespace {
+
+TEST(NaiveReachability, FlagsCoReachableSinkEvenWhenSafe) {
+  BinaryWriter writer(Arch::kDtArm, "t");
+  writer.AddImport("getenv");
+  writer.AddImport("system");
+  {
+    // A function that calls a source and, through a callee, a sink —
+    // but with NO data flow between them.
+    FnBuilder b("use_sink");
+    b.MovConst(0, kRodataBase);
+    b.Call("system");
+    b.Ret();
+    writer.AddFunction(std::move(b).Finish().value());
+  }
+  {
+    FnBuilder b("use_source");
+    b.MovI(0, 0);
+    b.Call("getenv");
+    b.Call("use_sink");
+    b.Ret();
+    writer.AddFunction(std::move(b).Finish().value());
+  }
+  writer.AddRodata({'l', 's', 0});
+  Binary bin = writer.Build().value();
+  CfgBuilder builder(bin);
+  Program program = builder.BuildProgram().value();
+  auto findings = NaiveReachabilityScan(program);
+  // The naive scanner cries wolf: constant-arg system() is flagged.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].sink, "system");
+  EXPECT_EQ(findings[0].sink_function, "use_sink");
+  EXPECT_EQ(findings[0].source, "getenv");
+}
+
+TEST(NaiveReachability, SilentWithoutSources) {
+  BinaryWriter writer(Arch::kDtArm, "t");
+  writer.AddImport("system");
+  FnBuilder b("f");
+  b.Call("system");
+  b.Ret();
+  writer.AddFunction(std::move(b).Finish().value());
+  Binary bin = writer.Build().value();
+  CfgBuilder builder(bin);
+  Program program = builder.BuildProgram().value();
+  EXPECT_TRUE(NaiveReachabilityScan(program).empty());
+}
+
+TEST(NaiveReachability, UnreachableSinkNotFlagged) {
+  BinaryWriter writer(Arch::kDtArm, "t");
+  writer.AddImport("getenv");
+  writer.AddImport("system");
+  {
+    FnBuilder b("island_sink");  // nobody calls it, it calls nobody
+    b.Call("system");
+    b.Ret();
+    writer.AddFunction(std::move(b).Finish().value());
+  }
+  {
+    FnBuilder b("island_source");
+    b.MovI(0, 0);
+    b.Call("getenv");
+    b.Ret();
+    writer.AddFunction(std::move(b).Finish().value());
+  }
+  Binary bin = writer.Build().value();
+  CfgBuilder builder(bin);
+  Program program = builder.BuildProgram().value();
+  EXPECT_TRUE(NaiveReachabilityScan(program).empty());
+}
+
+}  // namespace
+}  // namespace dtaint

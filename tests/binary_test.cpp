@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "src/binary/loader.h"
+#include "src/binary/writer.h"
+#include "src/isa/asm_builder.h"
+
+namespace dtaint {
+namespace {
+
+AsmFunction SimpleFn(const std::string& name, int extra_insns = 0) {
+  FnBuilder b(name);
+  for (int i = 0; i < extra_insns; ++i) b.Nop();
+  b.Ret();
+  return std::move(b).Finish().value();
+}
+
+TEST(Writer, LaysOutFunctionsContiguously) {
+  BinaryWriter writer(Arch::kDtArm, "t");
+  writer.AddFunction(SimpleFn("a", 3));  // 4 insns = 16 bytes
+  writer.AddFunction(SimpleFn("b", 0));  // 1 insn
+  auto bin = writer.Build();
+  ASSERT_TRUE(bin.ok());
+  EXPECT_EQ(bin->FindSymbol("a")->addr, kTextBase);
+  EXPECT_EQ(bin->FindSymbol("a")->size, 16u);
+  EXPECT_EQ(bin->FindSymbol("b")->addr, kTextBase + 16);
+  EXPECT_EQ(bin->entry, kTextBase);  // first function is the entry
+}
+
+TEST(Writer, ResolvesLocalCalls) {
+  BinaryWriter writer(Arch::kDtArm, "t");
+  {
+    FnBuilder b("caller");
+    b.Call("callee");
+    b.Ret();
+    writer.AddFunction(std::move(b).Finish().value());
+  }
+  writer.AddFunction(SimpleFn("callee"));
+  auto bin = writer.Build();
+  ASSERT_TRUE(bin.ok());
+  // BL at kTextBase, callee at kTextBase+8: offset (8 - 4)/4 = 1 word.
+  auto word = bin->ReadWordAt(kTextBase);
+  ASSERT_TRUE(word.ok());
+  EXPECT_EQ(*word & 0xFFFFFF, 1u);
+}
+
+TEST(Writer, ResolvesImportsToStubs) {
+  BinaryWriter writer(Arch::kDtArm, "t");
+  writer.AddImport("memcpy");
+  writer.AddImport("recv");
+  {
+    FnBuilder b("f");
+    b.Call("recv");
+    b.Ret();
+    writer.AddFunction(std::move(b).Finish().value());
+  }
+  auto bin = writer.Build();
+  ASSERT_TRUE(bin.ok());
+  const Import* recv = nullptr;
+  for (const Import& imp : bin->imports) {
+    if (imp.name == "recv") recv = &imp;
+  }
+  ASSERT_NE(recv, nullptr);
+  EXPECT_EQ(recv->stub_addr, kPltBase + kPltStride);  // second import
+  EXPECT_TRUE(bin->IsImportStub(recv->stub_addr));
+  EXPECT_EQ(bin->ImportAt(recv->stub_addr)->name, "recv");
+  EXPECT_FALSE(bin->IsImportStub(kTextBase));
+}
+
+TEST(Writer, DuplicateImportIsNoop) {
+  BinaryWriter writer(Arch::kDtArm, "t");
+  writer.AddImport("memcpy");
+  writer.AddImport("memcpy");
+  writer.AddFunction(SimpleFn("f"));
+  auto bin = writer.Build();
+  ASSERT_TRUE(bin.ok());
+  EXPECT_EQ(bin->imports.size(), 1u);
+}
+
+TEST(Writer, DuplicateFunctionFails) {
+  BinaryWriter writer(Arch::kDtArm, "t");
+  writer.AddFunction(SimpleFn("f"));
+  writer.AddFunction(SimpleFn("f"));
+  EXPECT_FALSE(writer.Build().ok());
+}
+
+TEST(Writer, UnresolvedCallFails) {
+  BinaryWriter writer(Arch::kDtArm, "t");
+  {
+    FnBuilder b("f");
+    b.Call("ghost");
+    b.Ret();
+    writer.AddFunction(std::move(b).Finish().value());
+  }
+  auto bin = writer.Build();
+  EXPECT_FALSE(bin.ok());
+  EXPECT_EQ(bin.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Writer, DataRelocWritesFunctionAddress) {
+  BinaryWriter writer(Arch::kDtMips, "t");
+  writer.AddFunction(SimpleFn("handler"));
+  uint32_t off = writer.AddData(std::vector<uint8_t>(8, 0));
+  writer.AddDataReloc({".data", off + 4, "handler"});
+  auto bin = writer.Build();
+  ASSERT_TRUE(bin.ok());
+  auto word = bin->ReadWordAt(kDataBase + off + 4);
+  ASSERT_TRUE(word.ok());
+  EXPECT_EQ(*word, bin->FindSymbol("handler")->addr);
+}
+
+TEST(Writer, RelocOutOfBoundsFails) {
+  BinaryWriter writer(Arch::kDtArm, "t");
+  writer.AddFunction(SimpleFn("f"));
+  writer.AddData(std::vector<uint8_t>(4, 0));
+  writer.AddDataReloc({".data", 100, "f"});
+  EXPECT_FALSE(writer.Build().ok());
+}
+
+TEST(Writer, SectionsAtFixedBases) {
+  BinaryWriter writer(Arch::kDtArm, "t");
+  writer.AddFunction(SimpleFn("f"));
+  writer.AddRodata({1, 2, 3, 4});
+  writer.AddData({5, 6, 7, 8});
+  writer.AddBss(64);
+  auto bin = writer.Build();
+  ASSERT_TRUE(bin.ok());
+  EXPECT_EQ(bin->FindSection(".rodata")->addr, kRodataBase);
+  EXPECT_EQ(bin->FindSection(".data")->addr, kDataBase);
+  EXPECT_EQ(bin->FindSection(".bss")->addr, kBssBase);
+  EXPECT_EQ(bin->FindSection(".bss")->size, 64u);
+  EXPECT_TRUE(bin->FindSection(".bss")->bytes.empty());
+}
+
+TEST(Binary, ReadWordHonorsEndianness) {
+  BinaryWriter writer(Arch::kDtMips, "t");
+  writer.AddFunction(SimpleFn("f"));
+  writer.AddRodata({0x11, 0x22, 0x33, 0x44});
+  auto bin = writer.Build();
+  ASSERT_TRUE(bin.ok());
+  EXPECT_EQ(*bin->ReadWordAt(kRodataBase), 0x11223344u);  // big-endian
+}
+
+TEST(Binary, ReadWordUnmappedFails) {
+  BinaryWriter writer(Arch::kDtArm, "t");
+  writer.AddFunction(SimpleFn("f"));
+  auto bin = writer.Build();
+  EXPECT_FALSE(bin->ReadWordAt(0xDEAD0000).ok());
+}
+
+TEST(Binary, SymbolAtCoversRange) {
+  BinaryWriter writer(Arch::kDtArm, "t");
+  writer.AddFunction(SimpleFn("a", 3));
+  writer.AddFunction(SimpleFn("b"));
+  auto bin = writer.Build();
+  EXPECT_EQ(bin->SymbolAt(kTextBase + 8)->name, "a");
+  EXPECT_EQ(bin->SymbolAt(kTextBase + 16)->name, "b");
+  EXPECT_EQ(bin->SymbolAt(kTextBase + 100), nullptr);
+}
+
+TEST(Loader, RoundTripPreservesEverything) {
+  BinaryWriter writer(Arch::kDtMips, "router_httpd");
+  writer.AddImport("recv");
+  writer.AddFunction(SimpleFn("main", 2));
+  writer.AddFunction(SimpleFn("helper"));
+  writer.AddRodata({'h', 'i', 0});
+  writer.AddData({9, 9, 9, 9});
+  writer.AddBss(128);
+  writer.SetEntry("helper");
+  Binary original = writer.Build().value();
+  std::vector<uint8_t> bytes = BinaryWriter::Serialize(original);
+
+  auto loaded = BinaryLoader::Load(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->arch, original.arch);
+  EXPECT_EQ(loaded->soname, "router_httpd");
+  EXPECT_EQ(loaded->entry, original.entry);
+  ASSERT_EQ(loaded->sections.size(), original.sections.size());
+  for (size_t i = 0; i < original.sections.size(); ++i) {
+    EXPECT_EQ(loaded->sections[i].name, original.sections[i].name);
+    EXPECT_EQ(loaded->sections[i].addr, original.sections[i].addr);
+    EXPECT_EQ(loaded->sections[i].bytes, original.sections[i].bytes);
+  }
+  ASSERT_EQ(loaded->symbols.size(), 2u);
+  EXPECT_EQ(loaded->symbols[0].name, "main");
+  ASSERT_EQ(loaded->imports.size(), 1u);
+  EXPECT_EQ(loaded->imports[0].name, "recv");
+}
+
+TEST(Loader, ChecksumCorruptionDetected) {
+  BinaryWriter writer(Arch::kDtArm, "t");
+  writer.AddFunction(SimpleFn("f"));
+  std::vector<uint8_t> bytes =
+      BinaryWriter::Serialize(writer.Build().value());
+  bytes[bytes.size() / 2] ^= 0x01;
+  auto loaded = BinaryLoader::Load(bytes);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruptData);
+}
+
+TEST(Loader, TruncationDetected) {
+  BinaryWriter writer(Arch::kDtArm, "t");
+  writer.AddFunction(SimpleFn("f"));
+  std::vector<uint8_t> bytes =
+      BinaryWriter::Serialize(writer.Build().value());
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(BinaryLoader::Load(bytes).ok());
+}
+
+TEST(Loader, BadMagicRejected) {
+  std::vector<uint8_t> bytes{'N', 'O', 'P', 'E', 0, 0, 0, 0};
+  EXPECT_FALSE(BinaryLoader::Load(bytes).ok());
+  EXPECT_FALSE(BinaryLoader::LooksLikeBinary(bytes));
+}
+
+TEST(Loader, MappedSizeSumsSections) {
+  BinaryWriter writer(Arch::kDtArm, "t");
+  writer.AddFunction(SimpleFn("f"));  // 4 bytes text
+  writer.AddBss(100);                 // rounds to 100 (already aligned)
+  auto bin = writer.Build();
+  EXPECT_EQ(bin->MappedSize(), 4u + 100u);
+}
+
+}  // namespace
+}  // namespace dtaint

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/binary/writer.h"
+#include "src/cfg/callgraph.h"
+#include "src/cfg/cfg_builder.h"
+#include "src/cfg/loops.h"
+#include "src/isa/asm_builder.h"
+
+namespace dtaint {
+namespace {
+
+Binary DiamondBinary() {
+  BinaryWriter writer(Arch::kDtArm, "t");
+  FnBuilder b("f");
+  b.CmpI(1, 0);        // 0x10000
+  b.Beq("else");       // 0x10004
+  b.MovI(2, 1);        // 0x10008 (then)
+  b.B("join");         // 0x1000c
+  b.Label("else");
+  b.MovI(2, 2);        // 0x10010
+  b.Label("join");
+  b.Ret();             // 0x10014
+  writer.AddFunction(std::move(b).Finish().value());
+  return writer.Build().value();
+}
+
+TEST(Cfg, DiamondShape) {
+  Binary bin = DiamondBinary();
+  CfgBuilder builder(bin);
+  Function fn = builder.BuildFunction(*bin.FindSymbol("f")).value();
+  // Blocks: entry(0x10000-0x10004), then(0x10008-0x1000c),
+  // else(0x10010), join(0x10014).
+  EXPECT_EQ(fn.blocks.size(), 4u);
+  ASSERT_TRUE(fn.succs.count(0x10000));
+  std::set<uint32_t> entry_succs(fn.succs.at(0x10000).begin(),
+                                 fn.succs.at(0x10000).end());
+  EXPECT_EQ(entry_succs, (std::set<uint32_t>{0x10008, 0x10010}));
+  EXPECT_EQ(fn.succs.at(0x10008), std::vector<uint32_t>{0x10014});
+  EXPECT_EQ(fn.succs.at(0x10010), std::vector<uint32_t>{0x10014});
+  // preds mirror succs.
+  std::set<uint32_t> join_preds(fn.preds.at(0x10014).begin(),
+                                fn.preds.at(0x10014).end());
+  EXPECT_EQ(join_preds, (std::set<uint32_t>{0x10008, 0x10010}));
+}
+
+TEST(Cfg, EveryInstructionInExactlyOneBlock) {
+  Binary bin = DiamondBinary();
+  CfgBuilder builder(bin);
+  Function fn = builder.BuildFunction(*bin.FindSymbol("f")).value();
+  std::set<uint32_t> covered;
+  for (const auto& [addr, block] : fn.blocks) {
+    for (uint32_t pc = addr; pc < block.EndAddr(); pc += kInsnSize) {
+      EXPECT_TRUE(covered.insert(pc).second) << "overlap at " << pc;
+    }
+  }
+  EXPECT_EQ(covered.size(), fn.size / kInsnSize);
+}
+
+TEST(Cfg, CallsitesResolved) {
+  BinaryWriter writer(Arch::kDtArm, "t");
+  writer.AddImport("recv");
+  {
+    FnBuilder b("callee");
+    b.Ret();
+    writer.AddFunction(std::move(b).Finish().value());
+  }
+  {
+    FnBuilder b("caller");
+    b.Call("callee");
+    b.Call("recv");
+    b.CallReg(5);
+    b.Ret();
+    writer.AddFunction(std::move(b).Finish().value());
+  }
+  Binary bin = writer.Build().value();
+  CfgBuilder builder(bin);
+  Function fn = builder.BuildFunction(*bin.FindSymbol("caller")).value();
+  ASSERT_EQ(fn.callsites.size(), 3u);
+  EXPECT_EQ(fn.callsites[0].target_name, "callee");
+  EXPECT_FALSE(fn.callsites[0].target_is_import);
+  EXPECT_EQ(fn.callsites[1].target_name, "recv");
+  EXPECT_TRUE(fn.callsites[1].target_is_import);
+  EXPECT_TRUE(fn.callsites[2].is_indirect);
+  EXPECT_NE(fn.CallSiteAt(fn.callsites[1].call_addr), nullptr);
+  EXPECT_EQ(fn.CallSiteAt(0xDEAD), nullptr);
+}
+
+TEST(Cfg, BranchEscapingFunctionRejected) {
+  // Hand-craft a symbol whose size cuts a branch target off.
+  BinaryWriter writer(Arch::kDtArm, "t");
+  FnBuilder b("f");
+  b.CmpI(1, 0);
+  b.Beq("far");
+  for (int i = 0; i < 4; ++i) b.Nop();
+  b.Label("far");
+  b.Ret();
+  writer.AddFunction(std::move(b).Finish().value());
+  Binary bin = writer.Build().value();
+  Symbol truncated = *bin.FindSymbol("f");
+  truncated.size = 3 * kInsnSize;  // branch target now outside
+  CfgBuilder builder(bin);
+  EXPECT_FALSE(builder.BuildFunction(truncated).ok());
+}
+
+TEST(Loops, SimpleLoopDetected) {
+  BinaryWriter writer(Arch::kDtArm, "t");
+  FnBuilder b("f");
+  b.MovI(1, 0);        // 0x10000
+  b.Label("top");
+  b.AddI(1, 1, 1);     // 0x10004
+  b.CmpI(1, 10);       // 0x10008
+  b.Blt("top");        // 0x1000c
+  b.Ret();             // 0x10010
+  writer.AddFunction(std::move(b).Finish().value());
+  Binary bin = writer.Build().value();
+  CfgBuilder builder(bin);
+  Function fn = builder.BuildFunction(*bin.FindSymbol("f")).value();
+  LoopInfo loops = FindLoops(fn);
+  ASSERT_EQ(loops.back_edges.size(), 1u);
+  EXPECT_EQ(loops.back_edges[0].second, 0x10004u);  // header
+  EXPECT_TRUE(loops.IsBackEdge(loops.back_edges[0].first, 0x10004));
+  EXPECT_TRUE(loops.InAnyLoop(0x10004));
+  EXPECT_FALSE(loops.InAnyLoop(0x10000));
+  EXPECT_FALSE(loops.InAnyLoop(0x10010));
+}
+
+TEST(Loops, StraightLineHasNone) {
+  Binary bin = DiamondBinary();
+  CfgBuilder builder(bin);
+  Function fn = builder.BuildFunction(*bin.FindSymbol("f")).value();
+  LoopInfo loops = FindLoops(fn);
+  EXPECT_TRUE(loops.back_edges.empty());
+  EXPECT_TRUE(loops.loops.empty());
+}
+
+TEST(Loops, NestedBodyMembership) {
+  BinaryWriter writer(Arch::kDtArm, "t");
+  FnBuilder b("f");
+  b.MovI(1, 0);
+  b.Label("outer");
+  b.MovI(2, 0);
+  b.Label("inner");
+  b.AddI(2, 2, 1);
+  b.CmpI(2, 4);
+  b.Blt("inner");
+  b.AddI(1, 1, 1);
+  b.CmpI(1, 4);
+  b.Blt("outer");
+  b.Ret();
+  writer.AddFunction(std::move(b).Finish().value());
+  Binary bin = writer.Build().value();
+  CfgBuilder builder(bin);
+  Function fn = builder.BuildFunction(*bin.FindSymbol("f")).value();
+  LoopInfo loops = FindLoops(fn);
+  EXPECT_EQ(loops.back_edges.size(), 2u);
+  EXPECT_EQ(loops.loops.size(), 2u);
+}
+
+Binary ChainBinary() {
+  // main -> a -> b; main -> b; c uncalled.
+  BinaryWriter writer(Arch::kDtArm, "t");
+  auto leaf = [&](const char* name) {
+    FnBuilder b(name);
+    b.Ret();
+    writer.AddFunction(std::move(b).Finish().value());
+  };
+  leaf("b");
+  leaf("c");
+  {
+    FnBuilder b("a");
+    b.Call("b");
+    b.Ret();
+    writer.AddFunction(std::move(b).Finish().value());
+  }
+  {
+    FnBuilder b("main");
+    b.Call("a");
+    b.Call("b");
+    b.Ret();
+    writer.AddFunction(std::move(b).Finish().value());
+  }
+  return writer.Build().value();
+}
+
+TEST(CallGraph, EdgesAndOrder) {
+  Binary bin = ChainBinary();
+  CfgBuilder builder(bin);
+  Program program = builder.BuildProgram().value();
+  CallGraph graph = CallGraph::Build(program);
+  EXPECT_EQ(graph.NodeCount(), 4u);
+  EXPECT_EQ(graph.EdgeCount(), 3u);  // main->a, main->b, a->b
+  EXPECT_TRUE(graph.Callees("main").count("a"));
+  EXPECT_TRUE(graph.Callers("b").count("a"));
+  EXPECT_TRUE(graph.Callers("b").count("main"));
+
+  // Bottom-up: every callee before each caller.
+  std::vector<std::string> order = graph.BottomUpOrder();
+  auto pos = [&](const std::string& n) {
+    return std::find(order.begin(), order.end(), n) - order.begin();
+  };
+  EXPECT_LT(pos("b"), pos("a"));
+  EXPECT_LT(pos("a"), pos("main"));
+  EXPECT_LT(pos("b"), pos("main"));
+}
+
+TEST(CallGraph, RecursionFormsScc) {
+  BinaryWriter writer(Arch::kDtArm, "t");
+  {
+    FnBuilder b("even");
+    b.Call("odd");
+    b.Ret();
+    writer.AddFunction(std::move(b).Finish().value());
+  }
+  {
+    FnBuilder b("odd");
+    b.Call("even");
+    b.Ret();
+    writer.AddFunction(std::move(b).Finish().value());
+  }
+  Binary bin = writer.Build().value();
+  CfgBuilder builder(bin);
+  Program program = builder.BuildProgram().value();
+  CallGraph graph = CallGraph::Build(program);
+  EXPECT_EQ(graph.SccIds().at("even"), graph.SccIds().at("odd"));
+  EXPECT_EQ(graph.BottomUpOrder().size(), 2u);  // still terminates
+}
+
+TEST(CallGraph, IndirectResolvedTargetsAddEdges) {
+  Binary bin = ChainBinary();
+  CfgBuilder builder(bin);
+  Program program = builder.BuildProgram().value();
+  // Manually resolve an indirect edge main -> c (as structsim would).
+  Function& main_fn = program.functions.at("main");
+  CallSite fake;
+  fake.is_indirect = true;
+  fake.resolved_targets = {"c"};
+  main_fn.callsites.push_back(fake);
+  CallGraph graph = CallGraph::Build(program);
+  EXPECT_TRUE(graph.Callees("main").count("c"));
+  std::vector<std::string> order = graph.BottomUpOrder();
+  auto pos = [&](const std::string& n) {
+    return std::find(order.begin(), order.end(), n) - order.begin();
+  };
+  EXPECT_LT(pos("c"), pos("main"));
+}
+
+TEST(Program, LookupHelpers) {
+  Binary bin = ChainBinary();
+  CfgBuilder builder(bin);
+  Program program = builder.BuildProgram().value();
+  EXPECT_NE(program.FindFunction("a"), nullptr);
+  EXPECT_EQ(program.FindFunction("zz"), nullptr);
+  const Symbol* a = bin.FindSymbol("a");
+  EXPECT_EQ(program.FunctionAt(a->addr)->name, "a");
+  EXPECT_GT(program.TotalBlocks(), 0u);
+  EXPECT_EQ(program.CallEdgeCount(), 3u);
+}
+
+}  // namespace
+}  // namespace dtaint

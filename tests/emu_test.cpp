@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "src/emu/corpus.h"
+#include "src/emu/firmadyne_sim.h"
+
+namespace dtaint {
+namespace {
+
+TEST(Corpus, SizeAndYearsMatchConfig) {
+  CorpusConfig config;
+  config.total_images = 500;
+  auto corpus = GenerateCorpus(config);
+  EXPECT_EQ(corpus.size(), 500u);
+  for (const CorpusEntry& entry : corpus) {
+    EXPECT_GE(entry.year, config.first_year);
+    EXPECT_LE(entry.year, config.last_year);
+    EXPECT_FALSE(entry.vendor.empty());
+  }
+}
+
+TEST(Corpus, PerYearCountsSumToTotal) {
+  CorpusConfig config;
+  config.total_images = 6529;
+  auto per_year = ImagesPerYear(config);
+  EXPECT_EQ(per_year.size(), 8u);
+  int sum = 0;
+  for (int n : per_year) sum += n;
+  EXPECT_EQ(sum, 6529);
+  // The corpus grows over time (Fig. 1 shape).
+  EXPECT_LT(per_year.front(), per_year.back());
+}
+
+TEST(Corpus, Deterministic) {
+  CorpusConfig config;
+  config.total_images = 100;
+  auto a = GenerateCorpus(config);
+  auto b = GenerateCorpus(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].vendor, b[i].vendor);
+    EXPECT_EQ(a[i].unpackable, b[i].unpackable);
+  }
+}
+
+TEST(Emulation, OutcomeDecisionPipeline) {
+  CorpusEntry entry;
+  entry.unpackable = false;
+  EXPECT_EQ(AttemptEmulation(entry), EmulationOutcome::kUnpackFailed);
+  entry.unpackable = true;
+  entry.needs_custom_peripheral = true;
+  EXPECT_EQ(AttemptEmulation(entry), EmulationOutcome::kPeripheralFault);
+  entry.needs_custom_peripheral = false;
+  entry.needs_nvram = true;
+  EXPECT_EQ(AttemptEmulation(entry), EmulationOutcome::kNvramFault);
+  entry.needs_nvram = false;
+  entry.network_init_ok = false;
+  EXPECT_EQ(AttemptEmulation(entry),
+            EmulationOutcome::kNetworkInitFailed);
+  entry.network_init_ok = true;
+  EXPECT_EQ(AttemptEmulation(entry), EmulationOutcome::kSuccess);
+}
+
+TEST(Emulation, StudyTalliesConsistent) {
+  CorpusConfig config;
+  config.total_images = 2000;
+  auto corpus = GenerateCorpus(config);
+  auto tallies = RunEmulationStudy(corpus);
+  int total = 0, emulated = 0;
+  for (const auto& [year, tally] : tallies) {
+    total += tally.total;
+    emulated += tally.emulated;
+    int outcome_sum = 0;
+    for (const auto& [_, n] : tally.by_outcome) outcome_sum += n;
+    EXPECT_EQ(outcome_sum, tally.total);
+    EXPECT_LE(tally.emulated, tally.total);
+  }
+  EXPECT_EQ(total, 2000);
+  EXPECT_GT(emulated, 0);
+}
+
+TEST(Emulation, HeadlineRatesMatchPaper) {
+  // Full-size corpus: ~10% emulable, >60% unpack failures.
+  auto corpus = GenerateCorpus({});
+  auto tallies = RunEmulationStudy(corpus);
+  int total = 0, emulated = 0, unpack_failed = 0;
+  for (const auto& [year, tally] : tallies) {
+    total += tally.total;
+    emulated += tally.emulated;
+    auto it = tally.by_outcome.find(EmulationOutcome::kUnpackFailed);
+    if (it != tally.by_outcome.end()) unpack_failed += it->second;
+  }
+  EXPECT_EQ(total, 6529);
+  double emulable = static_cast<double>(emulated) / total;
+  EXPECT_GT(emulable, 0.05);
+  EXPECT_LT(emulable, 0.15);  // paper: <670/6529 ~ 10%
+  EXPECT_GT(static_cast<double>(unpack_failed) / total, 0.60);
+}
+
+TEST(Emulation, OutcomeNames) {
+  EXPECT_EQ(EmulationOutcomeName(EmulationOutcome::kSuccess), "success");
+  EXPECT_EQ(EmulationOutcomeName(EmulationOutcome::kPeripheralFault),
+            "peripheral-fault");
+}
+
+}  // namespace
+}  // namespace dtaint

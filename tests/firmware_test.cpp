@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "src/firmware/extractor.h"
+#include "src/firmware/packer.h"
+
+namespace dtaint {
+namespace {
+
+FirmwareImage TestImage(Packing packing = Packing::kPlain) {
+  FirmwareImage image;
+  image.vendor = "Acme";
+  image.product = "RT-1";
+  image.version = "2.0";
+  image.release_year = 2015;
+  image.arch = Arch::kDtMips;
+  image.packing = packing;
+  image.files.push_back({"/etc/passwd", {'r', 'o', 'o', 't'}});
+  image.files.push_back({"/bin/httpd", {'D', 'T', 'B', '1', 0, 0}});
+  image.files.push_back({"/www/index.html", {'<', 'h', '1', '>'}});
+  return image;
+}
+
+TEST(Packer, RoundTripPlain) {
+  FirmwareImage image = TestImage();
+  std::vector<uint8_t> blob = FirmwarePacker::Pack(image);
+  auto out = FirmwareExtractor::Extract(blob);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->image.vendor, "Acme");
+  EXPECT_EQ(out->image.product, "RT-1");
+  EXPECT_EQ(out->image.release_year, 2015);
+  EXPECT_EQ(out->image.arch, Arch::kDtMips);
+  ASSERT_EQ(out->image.files.size(), 3u);
+  EXPECT_EQ(out->image.files[0].path, "/etc/passwd");
+  EXPECT_EQ(out->image.files[0].bytes, image.files[0].bytes);
+}
+
+TEST(Packer, RoundTripXor) {
+  std::vector<uint8_t> blob = FirmwarePacker::Pack(TestImage(Packing::kXor));
+  auto out = FirmwareExtractor::Extract(blob);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->image.files[2].bytes, TestImage().files[2].bytes);
+}
+
+TEST(Packer, XorActuallyObfuscates) {
+  std::vector<uint8_t> plain = FirmwarePacker::Pack(TestImage());
+  std::vector<uint8_t> xored =
+      FirmwarePacker::Pack(TestImage(Packing::kXor));
+  // Same sizes, different payload bytes.
+  ASSERT_EQ(plain.size(), xored.size());
+  EXPECT_NE(plain, xored);
+}
+
+TEST(Extractor, EncryptedRefused) {
+  std::vector<uint8_t> blob =
+      FirmwarePacker::Pack(TestImage(Packing::kEncrypted));
+  auto out = FirmwareExtractor::Extract(blob);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(Extractor, UnknownFormatRefused) {
+  std::vector<uint8_t> blob =
+      FirmwarePacker::Pack(TestImage(Packing::kUnknown));
+  EXPECT_FALSE(FirmwareExtractor::Extract(blob).ok());
+}
+
+TEST(Extractor, FindsMagicPastVendorHeader) {
+  std::vector<uint8_t> blob = FirmwarePacker::Pack(TestImage());
+  std::vector<uint8_t> wrapped(64, 0xEE);  // vendor header junk
+  wrapped.insert(wrapped.end(), blob.begin(), blob.end());
+  auto offset = FirmwareExtractor::FindMagic(wrapped);
+  ASSERT_TRUE(offset.has_value());
+  EXPECT_EQ(*offset, 64u);
+  auto out = FirmwareExtractor::Extract(wrapped);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->image.files.size(), 3u);
+}
+
+TEST(Extractor, NoMagicIsNotFound) {
+  std::vector<uint8_t> junk(256, 0x41);
+  auto out = FirmwareExtractor::Extract(junk);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Extractor, PayloadCorruptionDetected) {
+  std::vector<uint8_t> blob = FirmwarePacker::Pack(TestImage());
+  blob[blob.size() - 3] ^= 0xFF;  // flip a payload byte
+  auto out = FirmwareExtractor::Extract(blob);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCorruptData);
+}
+
+TEST(Extractor, TruncationDetected) {
+  std::vector<uint8_t> blob = FirmwarePacker::Pack(TestImage());
+  blob.resize(blob.size() / 3);
+  EXPECT_FALSE(FirmwareExtractor::Extract(blob).ok());
+}
+
+TEST(Extractor, SpotsExecutables) {
+  std::vector<uint8_t> blob = FirmwarePacker::Pack(TestImage());
+  auto out = FirmwareExtractor::Extract(blob);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->executable_paths.size(), 1u);
+  EXPECT_EQ(out->executable_paths[0], "/bin/httpd");
+}
+
+TEST(Image, Helpers) {
+  FirmwareImage image = TestImage();
+  EXPECT_EQ(image.Label(), "Acme RT-1_2.0");
+  EXPECT_NE(image.FindFile("/etc/passwd"), nullptr);
+  EXPECT_EQ(image.FindFile("/nope"), nullptr);
+  EXPECT_EQ(image.TotalBytes(), 4u + 6u + 4u);
+}
+
+TEST(Image, PackingNames) {
+  EXPECT_EQ(PackingName(Packing::kPlain), "plain");
+  EXPECT_EQ(PackingName(Packing::kEncrypted), "encrypted");
+}
+
+}  // namespace
+}  // namespace dtaint

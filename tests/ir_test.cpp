@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "src/ir/block.h"
+#include "src/ir/expr.h"
+#include "src/ir/stmt.h"
+
+namespace dtaint {
+namespace {
+
+TEST(Expr, Factories) {
+  ExprRef c = Expr::MakeConst(0x4C);
+  EXPECT_EQ(c->kind(), ExprKind::kConst);
+  EXPECT_EQ(c->const_value(), 0x4Cu);
+
+  ExprRef t = Expr::MakeRdTmp(3);
+  EXPECT_EQ(t->kind(), ExprKind::kRdTmp);
+  EXPECT_EQ(t->tmp(), 3);
+
+  ExprRef g = Expr::MakeGet(5);
+  EXPECT_EQ(g->reg(), 5);
+
+  ExprRef load = Expr::MakeLoad(g, 1);
+  EXPECT_EQ(load->kind(), ExprKind::kLoad);
+  EXPECT_EQ(load->load_size(), 1);
+  EXPECT_EQ(load->lhs().get(), g.get());
+
+  ExprRef bin = Expr::MakeBinop(BinOp::kAdd, g, c);
+  EXPECT_EQ(bin->binop(), BinOp::kAdd);
+}
+
+TEST(Expr, ToString) {
+  ExprRef e = Expr::MakeBinop(BinOp::kAdd, Expr::MakeGet(5),
+                              Expr::MakeConst(0x4C));
+  EXPECT_EQ(e->ToString(), "Add(Get(5), 0x4c)");
+  EXPECT_EQ(Expr::MakeLoad(e, 4)->ToString(), "Load4(Add(Get(5), 0x4c))");
+}
+
+TEST(Expr, BinOpNames) {
+  EXPECT_EQ(BinOpName(BinOp::kCmpLe), "CmpLE");
+  EXPECT_TRUE(IsCompare(BinOp::kCmpEq));
+  EXPECT_FALSE(IsCompare(BinOp::kXor));
+}
+
+TEST(Stmt, ToStringForms) {
+  EXPECT_EQ(Stmt::WrTmp(2, Expr::MakeConst(7)).ToString(), "t2 = 0x7");
+  EXPECT_EQ(Stmt::Put(0, Expr::MakeRdTmp(1)).ToString(), "PUT(0) = t1");
+  Stmt store = Stmt::Store(Expr::MakeGet(13), Expr::MakeConst(0), 4);
+  EXPECT_EQ(store.ToString(), "STORE4(Get(13)) = 0x0");
+  Stmt exit = Stmt::Exit(
+      Expr::MakeBinop(BinOp::kCmpEq, Expr::MakeGet(16), Expr::MakeGet(17)),
+      0x10050);
+  EXPECT_EQ(exit.ToString(),
+            "if (CmpEQ(Get(16), Get(17))) goto 0x10050");
+}
+
+TEST(Stmt, JumpKindNames) {
+  EXPECT_EQ(JumpKindName(JumpKind::kCall), "Ijk_Call");
+  EXPECT_EQ(JumpKindName(JumpKind::kIndirectCall), "Ijk_IndirectCall");
+}
+
+TEST(Block, EndAddr) {
+  IRBlock block;
+  block.addr = 0x10000;
+  block.size = 12;
+  EXPECT_EQ(block.EndAddr(), 0x1000Cu);
+}
+
+TEST(Block, ToStringIncludesNext) {
+  IRBlock block;
+  block.addr = 0x10000;
+  block.next = Expr::MakeConst(0x10010);
+  block.jumpkind = JumpKind::kBoring;
+  block.stmts.push_back(Stmt::IMark(0x10000));
+  std::string s = block.ToString();
+  EXPECT_NE(s.find("IRBlock @ 0x10000"), std::string::npos);
+  EXPECT_NE(s.find("NEXT: 0x10010; Ijk_Boring"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dtaint

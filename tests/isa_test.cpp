@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "src/isa/asm_builder.h"
+#include "src/isa/decode.h"
+#include "src/isa/encode.h"
+
+namespace dtaint {
+namespace {
+
+TEST(Encode, RTypeFields) {
+  auto word = Encode({Op::kAddR, 1, 2, 3, 0});
+  ASSERT_TRUE(word.ok());
+  EXPECT_EQ(*word >> 24, static_cast<uint32_t>(Op::kAddR));
+  EXPECT_EQ((*word >> 20) & 0xF, 1u);
+  EXPECT_EQ((*word >> 16) & 0xF, 2u);
+  EXPECT_EQ((*word >> 12) & 0xF, 3u);
+}
+
+TEST(Encode, ITypeSignedImm) {
+  auto word = Encode({Op::kAddI, 1, 2, 0, -5});
+  ASSERT_TRUE(word.ok());
+  auto back = Decode(*word);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->imm, -5);
+}
+
+TEST(Encode, Imm16OutOfRangeFails) {
+  EXPECT_FALSE(Encode({Op::kAddI, 1, 2, 0, 40000}).ok());
+  EXPECT_FALSE(Encode({Op::kAddI, 1, 2, 0, -40000}).ok());
+}
+
+TEST(Encode, Imm24Branch) {
+  auto word = Encode({Op::kB, 0, 0, 0, -100});
+  ASSERT_TRUE(word.ok());
+  auto back = Decode(*word);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->imm, -100);
+}
+
+TEST(Encode, Imm24OutOfRangeFails) {
+  EXPECT_FALSE(Encode({Op::kB, 0, 0, 0, 1 << 23}).ok());
+}
+
+TEST(Encode, MovHiUnsignedImm) {
+  EXPECT_TRUE(Encode({Op::kMovHi, 1, 0, 0, 0xFFFF}).ok());
+  EXPECT_FALSE(Encode({Op::kMovHi, 1, 0, 0, -1}).ok());
+  EXPECT_FALSE(Encode({Op::kMovHi, 1, 0, 0, 0x10000}).ok());
+}
+
+TEST(Encode, BadRegisterFails) {
+  Insn insn{Op::kMovR, 16, 0, 0, 0};
+  EXPECT_FALSE(Encode(insn).ok());
+}
+
+TEST(Encode, InvalidOpcodeFails) {
+  EXPECT_FALSE(Encode({Op::kInvalid, 0, 0, 0, 0}).ok());
+}
+
+TEST(Decode, UnknownOpcodeFails) {
+  EXPECT_FALSE(Decode(0xFF000000).ok());
+  EXPECT_FALSE(Decode(0x00000000).ok());
+  EXPECT_FALSE(IsValidOpcode(0xAB000000));
+  EXPECT_TRUE(IsValidOpcode(*Encode({Op::kNop, 0, 0, 0, 0})));
+}
+
+TEST(Format, Classification) {
+  EXPECT_EQ(FormatOf(Op::kMovR), OpFormat::kR);
+  EXPECT_EQ(FormatOf(Op::kMovI), OpFormat::kI);
+  EXPECT_EQ(FormatOf(Op::kBl), OpFormat::kB);
+  EXPECT_EQ(FormatOf(Op::kRet), OpFormat::kNone);
+  EXPECT_EQ(FormatOf(Op::kLdrWR), OpFormat::kR);
+}
+
+TEST(Format, Terminators) {
+  EXPECT_TRUE(IsBlockTerminator(Op::kB));
+  EXPECT_TRUE(IsBlockTerminator(Op::kBeq));
+  EXPECT_TRUE(IsBlockTerminator(Op::kRet));
+  EXPECT_FALSE(IsBlockTerminator(Op::kBl));  // calls fall through
+  EXPECT_FALSE(IsBlockTerminator(Op::kAddR));
+  EXPECT_TRUE(IsCondBranch(Op::kBgt));
+  EXPECT_FALSE(IsCondBranch(Op::kB));
+}
+
+TEST(Disasm, RendersOperands) {
+  Insn ldr{Op::kLdrW, 1, 5, 0, 0x4C};
+  EXPECT_EQ(ldr.ToString(Arch::kDtArm), "ldr r1, [r5, #76]");
+  Insn bl{Op::kBl, 0, 0, 0, 3};
+  EXPECT_EQ(bl.ToString(Arch::kDtArm), "bl #+12");
+  Insn cmp{Op::kCmpI, 0, 4, 0, 8};
+  EXPECT_EQ(cmp.ToString(Arch::kDtMips), "cmp a0, #8");
+}
+
+TEST(Regs, Names) {
+  EXPECT_EQ(RegName(Arch::kDtArm, 13), "sp");
+  EXPECT_EQ(RegName(Arch::kDtArm, 14), "lr");
+  EXPECT_EQ(RegName(Arch::kDtArm, 0), "r0");
+  EXPECT_EQ(RegName(Arch::kDtMips, 4), "a0");
+  EXPECT_EQ(RegName(Arch::kDtMips, 2), "v0");
+}
+
+TEST(Regs, Conventions) {
+  const CallingConvention& arm = ConventionFor(Arch::kDtArm);
+  EXPECT_EQ(arm.ArgReg(0), 0);
+  EXPECT_EQ(arm.ArgReg(3), 3);
+  EXPECT_EQ(arm.ArgReg(4), -1);  // stack-passed
+  EXPECT_EQ(arm.ret_reg, 0);
+  EXPECT_EQ(arm.ArgIndexOfReg(2), 2);
+  EXPECT_EQ(arm.ArgIndexOfReg(7), -1);
+  EXPECT_EQ(arm.StackArgOffset(4), 0);
+  EXPECT_EQ(arm.StackArgOffset(6), 8);
+
+  const CallingConvention& mips = ConventionFor(Arch::kDtMips);
+  EXPECT_EQ(mips.ArgReg(0), 4);
+  EXPECT_EQ(mips.ret_reg, 2);
+}
+
+TEST(Regs, Endianness) {
+  uint8_t buf[4];
+  WriteWord(Arch::kDtArm, buf, 0x11223344);
+  EXPECT_EQ(buf[0], 0x44);  // little-endian
+  EXPECT_EQ(ReadWord(Arch::kDtArm, buf), 0x11223344u);
+  WriteWord(Arch::kDtMips, buf, 0x11223344);
+  EXPECT_EQ(buf[0], 0x11);  // big-endian
+  EXPECT_EQ(ReadWord(Arch::kDtMips, buf), 0x11223344u);
+}
+
+TEST(AsmBuilder, BackwardBranchResolves) {
+  FnBuilder b("f");
+  b.Label("top");
+  b.AddI(1, 1, 1);
+  b.CmpI(1, 10);
+  b.Blt("top");
+  b.Ret();
+  auto fn = std::move(b).Finish();
+  ASSERT_TRUE(fn.ok());
+  // blt is insn 2; target insn 0; offset = 0 - (2+1) = -3.
+  EXPECT_EQ(fn->insns[2].imm, -3);
+}
+
+TEST(AsmBuilder, ForwardBranchResolves) {
+  FnBuilder b("f");
+  b.CmpI(1, 0);
+  b.Beq("end");
+  b.AddI(1, 1, 1);
+  b.Label("end");
+  b.Ret();
+  auto fn = std::move(b).Finish();
+  ASSERT_TRUE(fn.ok());
+  EXPECT_EQ(fn->insns[1].imm, 1);  // skip one instruction
+}
+
+TEST(AsmBuilder, UndefinedLabelFails) {
+  FnBuilder b("f");
+  b.B("nowhere");
+  auto fn = std::move(b).Finish();
+  EXPECT_FALSE(fn.ok());
+  EXPECT_EQ(fn.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AsmBuilder, CallsStaySymbolic) {
+  FnBuilder b("f");
+  b.Call("memcpy");
+  b.Ret();
+  auto fn = std::move(b).Finish();
+  ASSERT_TRUE(fn.ok());
+  ASSERT_EQ(fn->call_fixups.size(), 1u);
+  EXPECT_EQ(fn->call_fixups[0].target, "memcpy");
+  EXPECT_EQ(fn->call_fixups[0].insn_index, 0u);
+}
+
+TEST(AsmBuilder, MovConstSmall) {
+  FnBuilder b("f");
+  b.MovConst(1, 42);
+  EXPECT_EQ(b.size(), 1u);  // one MovI suffices
+}
+
+TEST(AsmBuilder, MovConstLargeUsesMovHi) {
+  FnBuilder b("f");
+  b.MovConst(1, 0x00800010);
+  b.Ret();
+  auto fn = std::move(b).Finish();
+  ASSERT_TRUE(fn.ok());
+  ASSERT_EQ(fn->insns.size(), 3u);
+  EXPECT_EQ(fn->insns[0].op, Op::kMovI);
+  EXPECT_EQ(fn->insns[1].op, Op::kMovHi);
+  EXPECT_EQ(fn->insns[1].imm, 0x80);
+}
+
+TEST(AsmBuilder, MovConstNegativePattern) {
+  // 0xFFFF8000 sign-extends from the low half alone: no MovHi needed.
+  FnBuilder b("f");
+  b.MovConst(1, 0xFFFF8000);
+  EXPECT_EQ(b.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dtaint

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "src/report/json.h"
+#include "src/synth/firmware_synth.h"
+
+namespace dtaint {
+namespace {
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonReport, EmptyReportIsWellFormed) {
+  AnalysisReport report;
+  report.binary_name = "empty";
+  std::string json = ReportToJson(report);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"binary\":\"empty\""), std::string::npos);
+  EXPECT_NE(json.find("\"findings\":[]"), std::string::npos);
+}
+
+TEST(JsonReport, FindingsSerializedWithHops) {
+  // Real report from a synthesized vulnerable binary.
+  ProgramSpec spec;
+  spec.name = "j";
+  spec.arch = Arch::kDtArm;
+  spec.seed = 3;
+  spec.filler_functions = 2;
+  PlantSpec p;
+  p.id = "jp";
+  p.pattern = VulnPattern::kDirect;
+  p.source = "getenv";
+  p.sink = "system";
+  spec.plants = {p};
+  auto out = SynthesizeBinary(spec);
+  ASSERT_TRUE(out.ok());
+  DTaint detector;
+  auto report = detector.Analyze(out->binary);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->findings.size(), 1u);
+
+  std::string json = ReportToJson(*report);
+  EXPECT_NE(json.find("\"class\":\"Command Injection\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"sink\":\"system\""), std::string::npos);
+  EXPECT_NE(json.find("\"source\":\"getenv\""), std::string::npos);
+  EXPECT_NE(json.find("\"function\":\"jp_handler\""), std::string::npos);
+  EXPECT_NE(json.find("\"hops\":["), std::string::npos);
+
+  // Structural sanity: balanced braces/brackets, no dangling commas.
+  int depth = 0;
+  bool in_string = false;
+  char prev = 0;
+  for (char c : json) {
+    if (in_string) {
+      if (c == '"' && prev != '\\') in_string = false;
+    } else {
+      if (c == '"') in_string = true;
+      if (c == '{' || c == '[') ++depth;
+      if (c == '}' || c == ']') {
+        EXPECT_NE(prev, ',') << "dangling comma";
+        --depth;
+      }
+      EXPECT_GE(depth, 0);
+    }
+    prev = c;
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(JsonScore, RoundNumbersPresent) {
+  DetectionScore score;
+  score.true_positives = 3;
+  score.false_negatives = 1;
+  score.found_ids = {"a", "b", "c"};
+  score.missed_ids = {"d"};
+  std::string json = ScoreToJson(score);
+  EXPECT_NE(json.find("\"true_positives\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"recall\":0.75"), std::string::npos);
+  EXPECT_NE(json.find("\"missed\":[\"d\"]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dtaint

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "src/report/scoring.h"
+#include "src/report/table.h"
+
+namespace dtaint {
+namespace {
+
+Finding MakeFinding(const std::string& fn, const std::string& sink) {
+  Finding f;
+  f.path.sink_function = fn;
+  f.path.sink_name = sink;
+  f.path.sink_site = 0x100;
+  return f;
+}
+
+PlantedVuln MakePlant(const std::string& id, const std::string& fn,
+                      const std::string& sink, bool sanitized = false) {
+  PlantedVuln v;
+  v.id = id;
+  v.sink_function = fn;
+  v.sink = sink;
+  v.sanitized = sanitized;
+  return v;
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable table({"Name", "Count"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "12345"});
+  std::string out = table.Render();
+  EXPECT_EQ(out,
+            "Name   Count\n"
+            "-----  -----\n"
+            "alpha  1    \n"
+            "b      12345\n");
+}
+
+TEST(Table, ShortRowsPadded) {
+  TextTable table({"A", "B", "C"});
+  table.AddRow({"x"});
+  std::string out = table.Render();
+  EXPECT_NE(out.find("x  "), std::string::npos);
+}
+
+TEST(Scoring, TruePositive) {
+  auto score = ScoreFindings({MakeFinding("f1", "system")},
+                             {MakePlant("p1", "f1", "system")});
+  EXPECT_EQ(score.true_positives, 1u);
+  EXPECT_EQ(score.false_negatives, 0u);
+  EXPECT_EQ(score.false_positives, 0u);
+  EXPECT_DOUBLE_EQ(score.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(score.Recall(), 1.0);
+  ASSERT_EQ(score.found_ids.size(), 1u);
+  EXPECT_EQ(score.found_ids[0], "p1");
+}
+
+TEST(Scoring, FalseNegative) {
+  auto score =
+      ScoreFindings({}, {MakePlant("p1", "f1", "system")});
+  EXPECT_EQ(score.false_negatives, 1u);
+  EXPECT_DOUBLE_EQ(score.Recall(), 0.0);
+  EXPECT_EQ(score.missed_ids[0], "p1");
+}
+
+TEST(Scoring, UnmatchedFindingIsFalsePositive) {
+  auto score = ScoreFindings({MakeFinding("other", "system")},
+                             {MakePlant("p1", "f1", "system")});
+  EXPECT_EQ(score.false_positives, 1u);
+  EXPECT_EQ(score.true_positives, 0u);
+}
+
+TEST(Scoring, SafeTwinHitCounted) {
+  auto score =
+      ScoreFindings({MakeFinding("f1", "system")},
+                    {MakePlant("p1", "f1", "system", /*sanitized=*/true)});
+  EXPECT_EQ(score.safe_twin_hits, 1u);
+  EXPECT_EQ(score.true_positives, 0u);
+  EXPECT_LT(score.Precision(), 1.0);
+}
+
+TEST(Scoring, DuplicateFindingsCountOnce) {
+  auto score = ScoreFindings(
+      {MakeFinding("f1", "system"), MakeFinding("f1", "system")},
+      {MakePlant("p1", "f1", "system")});
+  EXPECT_EQ(score.true_positives, 1u);
+}
+
+TEST(Scoring, SinkNameMustMatch) {
+  auto score = ScoreFindings({MakeFinding("f1", "strcpy")},
+                             {MakePlant("p1", "f1", "system")});
+  EXPECT_EQ(score.true_positives, 0u);
+  EXPECT_EQ(score.false_positives, 1u);
+}
+
+TEST(Scoring, EmptyEverything) {
+  auto score = ScoreFindings({}, {});
+  EXPECT_DOUBLE_EQ(score.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(score.Recall(), 1.0);
+}
+
+}  // namespace
+}  // namespace dtaint

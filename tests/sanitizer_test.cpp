@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "src/core/sanitizer.h"
+
+namespace dtaint {
+namespace {
+
+PathConstraint Constraint(BinOp op, SymRef lhs, SymRef rhs, bool taken) {
+  PathConstraint c;
+  c.op = op;
+  c.lhs = std::move(lhs);
+  c.rhs = std::move(rhs);
+  c.taken = taken;
+  return c;
+}
+
+TaintPath OverflowPath(SymRef tainted) {
+  TaintPath path;
+  path.sink_name = "memcpy";
+  path.vuln_class = VulnClass::kBufferOverflow;
+  path.sink_arg = tainted;
+  path.traced_exprs = {tainted};
+  return path;
+}
+
+TaintPath InjectionPath(SymRef cmd) {
+  TaintPath path;
+  path.sink_name = "system";
+  path.vuln_class = VulnClass::kCommandInjection;
+  path.sink_arg = cmd;
+  path.traced_exprs = {cmd, SymExpr::Deref(cmd)};
+  return path;
+}
+
+TEST(Sanitizer, NoConstraintsMeansVulnerable) {
+  TaintPath path = OverflowPath(SymExpr::Deref(SymExpr::Arg(0)));
+  EXPECT_FALSE(CheckSanitization(path).sanitized);
+}
+
+TEST(Sanitizer, UpperBoundTakenSanitizes) {
+  SymRef n = SymExpr::Deref(SymExpr::Arg(0));
+  TaintPath path = OverflowPath(n);
+  // n < 64 taken.
+  path.constraints.push_back(
+      Constraint(BinOp::kCmpLt, n, SymExpr::Const(64), true));
+  auto verdict = CheckSanitization(path);
+  EXPECT_TRUE(verdict.sanitized);
+  EXPECT_NE(verdict.reason.find("length bound"), std::string::npos);
+}
+
+TEST(Sanitizer, NotGreaterFallthroughSanitizes) {
+  SymRef n = SymExpr::Deref(SymExpr::Arg(0));
+  TaintPath path = OverflowPath(n);
+  // !(n >= 64): the fallthrough side of a bge guard.
+  path.constraints.push_back(
+      Constraint(BinOp::kCmpGe, n, SymExpr::Const(64), false));
+  EXPECT_TRUE(CheckSanitization(path).sanitized);
+}
+
+TEST(Sanitizer, LowerBoundDoesNotSanitize) {
+  SymRef n = SymExpr::Deref(SymExpr::Arg(0));
+  TaintPath path = OverflowPath(n);
+  // n > 0 taken: bounds below, still unbounded above.
+  path.constraints.push_back(
+      Constraint(BinOp::kCmpGt, n, SymExpr::Const(0), true));
+  EXPECT_FALSE(CheckSanitization(path).sanitized);
+}
+
+TEST(Sanitizer, SymbolicUpperBoundCounts) {
+  // The paper explicitly allows "n < y, y is a symbolic value".
+  SymRef n = SymExpr::Deref(SymExpr::Arg(0));
+  TaintPath path = OverflowPath(n);
+  path.constraints.push_back(
+      Constraint(BinOp::kCmpLt, n, SymExpr::Arg(1), true));
+  EXPECT_TRUE(CheckSanitization(path).sanitized);
+}
+
+TEST(Sanitizer, ReversedOperandsBound) {
+  // 64 > n taken also bounds n from above.
+  SymRef n = SymExpr::Deref(SymExpr::Arg(0));
+  TaintPath path = OverflowPath(n);
+  path.constraints.push_back(
+      Constraint(BinOp::kCmpGt, SymExpr::Const(64), n, true));
+  EXPECT_TRUE(CheckSanitization(path).sanitized);
+}
+
+TEST(Sanitizer, UnrelatedConstraintIgnored) {
+  TaintPath path = OverflowPath(SymExpr::Deref(SymExpr::Arg(0)));
+  path.constraints.push_back(Constraint(
+      BinOp::kCmpLt, SymExpr::Arg(3), SymExpr::Const(64), true));
+  EXPECT_FALSE(CheckSanitization(path).sanitized);
+}
+
+TEST(Sanitizer, RegionMatchTiesStrlenToBuffer) {
+  // Traced: deref(buf+4); constraint on deref(buf) (strlen's modeled
+  // return) must still count — same region.
+  SymRef buf = SymAdd(SymExpr::Sp0(), 0x40);
+  TaintPath path = OverflowPath(SymExpr::Deref(SymAdd(buf, 4)));
+  path.constraints.push_back(Constraint(
+      BinOp::kCmpLt, SymExpr::Deref(buf), SymExpr::Const(64), true));
+  EXPECT_TRUE(CheckSanitization(path).sanitized);
+}
+
+TEST(Sanitizer, SemicolonFilterSanitizesInjection) {
+  SymRef cmd = SymExpr::Ret(0x100);
+  TaintPath path = InjectionPath(cmd);
+  // deref8(cmd+i) == ';' observed on either polarity.
+  SymRef byte = SymExpr::Deref(SymAdd(cmd, 3), 1);
+  path.constraints.push_back(
+      Constraint(BinOp::kCmpEq, byte, SymExpr::Const(0x3B), false));
+  auto verdict = CheckSanitization(path);
+  EXPECT_TRUE(verdict.sanitized);
+  EXPECT_NE(verdict.reason.find("semicolon"), std::string::npos);
+}
+
+TEST(Sanitizer, LengthCheckDoesNotSanitizeInjection) {
+  // A length bound is NOT a semicolon filter; injections stay.
+  SymRef cmd = SymExpr::Ret(0x100);
+  TaintPath path = InjectionPath(cmd);
+  path.constraints.push_back(Constraint(
+      BinOp::kCmpLt, SymExpr::Deref(cmd), SymExpr::Const(64), true));
+  EXPECT_FALSE(CheckSanitization(path).sanitized);
+}
+
+TEST(Sanitizer, CompareAgainstOtherCharNotEnough) {
+  SymRef cmd = SymExpr::Ret(0x100);
+  TaintPath path = InjectionPath(cmd);
+  SymRef byte = SymExpr::Deref(cmd, 1);
+  path.constraints.push_back(
+      Constraint(BinOp::kCmpEq, byte, SymExpr::Const('a'), false));
+  EXPECT_FALSE(CheckSanitization(path).sanitized);
+}
+
+TEST(Sanitizer, LoopIndexBoundSanitizes) {
+  SymRef idx = SymExpr::Deref(SymAdd(SymExpr::Sp0(), 0x14));
+  SymRef dst = SymAdd(SymExpr::Sp0(), 0x210);
+  TaintPath path;
+  path.sink_name = "loop";
+  path.vuln_class = VulnClass::kBufferOverflow;
+  path.sink_store_addr = SymExpr::Bin(BinOp::kAdd, dst, idx);
+  path.traced_exprs = {SymExpr::Deref(SymAdd(SymExpr::Sp0(), 0x10))};
+  // !(idx >= 0x2F): the in-loop side of the bounds check.
+  path.constraints.push_back(
+      Constraint(BinOp::kCmpGe, idx, SymExpr::Const(0x2F), false));
+  EXPECT_TRUE(CheckSanitization(path).sanitized);
+}
+
+TEST(Sanitizer, LoopWithoutIndexBoundVulnerable) {
+  SymRef idx = SymExpr::Deref(SymAdd(SymExpr::Sp0(), 0x14));
+  SymRef dst = SymAdd(SymExpr::Sp0(), 0x210);
+  TaintPath path;
+  path.sink_name = "loop";
+  path.vuln_class = VulnClass::kBufferOverflow;
+  path.sink_store_addr = SymExpr::Bin(BinOp::kAdd, dst, idx);
+  path.traced_exprs = {SymExpr::Deref(SymAdd(SymExpr::Sp0(), 0x10))};
+  // Only the copy-termination compare (data vs 0): not a bound.
+  path.constraints.push_back(Constraint(
+      BinOp::kCmpNe, SymExpr::Deref(SymExpr::Sp0(), 1),
+      SymExpr::Const(0), true));
+  EXPECT_FALSE(CheckSanitization(path).sanitized);
+}
+
+TEST(Sanitizer, FilterVulnerableSplits) {
+  SymRef n = SymExpr::Deref(SymExpr::Arg(0));
+  TaintPath safe = OverflowPath(n);
+  safe.constraints.push_back(
+      Constraint(BinOp::kCmpLt, n, SymExpr::Const(64), true));
+  TaintPath unsafe = OverflowPath(n);
+  auto vulnerable = FilterVulnerable({safe, unsafe});
+  EXPECT_EQ(vulnerable.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dtaint
