@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_emulation.dir/fig1_emulation.cpp.o"
+  "CMakeFiles/fig1_emulation.dir/fig1_emulation.cpp.o.d"
+  "fig1_emulation"
+  "fig1_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

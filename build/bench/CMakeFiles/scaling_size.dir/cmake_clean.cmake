@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_size.dir/scaling_size.cpp.o"
+  "CMakeFiles/scaling_size.dir/scaling_size.cpp.o.d"
+  "scaling_size"
+  "scaling_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_known_vulns.dir/table4_known_vulns.cpp.o"
+  "CMakeFiles/table4_known_vulns.dir/table4_known_vulns.cpp.o.d"
+  "table4_known_vulns"
+  "table4_known_vulns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_known_vulns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_zero_days.dir/table5_zero_days.cpp.o"
+  "CMakeFiles/table5_zero_days.dir/table5_zero_days.cpp.o.d"
+  "table5_zero_days"
+  "table5_zero_days.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_zero_days.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

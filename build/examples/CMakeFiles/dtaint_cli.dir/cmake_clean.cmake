@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtaint_cli.dir/dtaint_cli.cpp.o"
+  "CMakeFiles/dtaint_cli.dir/dtaint_cli.cpp.o.d"
+  "dtaint_cli"
+  "dtaint_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtaint_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

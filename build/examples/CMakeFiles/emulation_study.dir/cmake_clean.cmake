@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emulation_study.dir/emulation_study.cpp.o"
+  "CMakeFiles/emulation_study.dir/emulation_study.cpp.o.d"
+  "emulation_study"
+  "emulation_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emulation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

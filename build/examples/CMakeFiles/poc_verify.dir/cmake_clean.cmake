@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poc_verify.dir/poc_verify.cpp.o"
+  "CMakeFiles/poc_verify.dir/poc_verify.cpp.o.d"
+  "poc_verify"
+  "poc_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poc_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

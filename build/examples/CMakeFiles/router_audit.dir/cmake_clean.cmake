@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_audit.dir/router_audit.cpp.o"
+  "CMakeFiles/router_audit.dir/router_audit.cpp.o.d"
+  "router_audit"
+  "router_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/naive_reachability.cpp" "src/CMakeFiles/dtaint.dir/baseline/naive_reachability.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/baseline/naive_reachability.cpp.o.d"
+  "/root/repo/src/baseline/worklist_ddg.cpp" "src/CMakeFiles/dtaint.dir/baseline/worklist_ddg.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/baseline/worklist_ddg.cpp.o.d"
+  "/root/repo/src/binary/binary.cpp" "src/CMakeFiles/dtaint.dir/binary/binary.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/binary/binary.cpp.o.d"
+  "/root/repo/src/binary/loader.cpp" "src/CMakeFiles/dtaint.dir/binary/loader.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/binary/loader.cpp.o.d"
+  "/root/repo/src/binary/writer.cpp" "src/CMakeFiles/dtaint.dir/binary/writer.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/binary/writer.cpp.o.d"
+  "/root/repo/src/cfg/callgraph.cpp" "src/CMakeFiles/dtaint.dir/cfg/callgraph.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/cfg/callgraph.cpp.o.d"
+  "/root/repo/src/cfg/cfg_builder.cpp" "src/CMakeFiles/dtaint.dir/cfg/cfg_builder.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/cfg/cfg_builder.cpp.o.d"
+  "/root/repo/src/cfg/function.cpp" "src/CMakeFiles/dtaint.dir/cfg/function.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/cfg/function.cpp.o.d"
+  "/root/repo/src/cfg/loops.cpp" "src/CMakeFiles/dtaint.dir/cfg/loops.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/cfg/loops.cpp.o.d"
+  "/root/repo/src/core/alias.cpp" "src/CMakeFiles/dtaint.dir/core/alias.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/core/alias.cpp.o.d"
+  "/root/repo/src/core/dtaint.cpp" "src/CMakeFiles/dtaint.dir/core/dtaint.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/core/dtaint.cpp.o.d"
+  "/root/repo/src/core/interproc.cpp" "src/CMakeFiles/dtaint.dir/core/interproc.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/core/interproc.cpp.o.d"
+  "/root/repo/src/core/pathfinder.cpp" "src/CMakeFiles/dtaint.dir/core/pathfinder.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/core/pathfinder.cpp.o.d"
+  "/root/repo/src/core/sanitizer.cpp" "src/CMakeFiles/dtaint.dir/core/sanitizer.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/core/sanitizer.cpp.o.d"
+  "/root/repo/src/core/sources_sinks.cpp" "src/CMakeFiles/dtaint.dir/core/sources_sinks.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/core/sources_sinks.cpp.o.d"
+  "/root/repo/src/core/structsim.cpp" "src/CMakeFiles/dtaint.dir/core/structsim.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/core/structsim.cpp.o.d"
+  "/root/repo/src/emu/corpus.cpp" "src/CMakeFiles/dtaint.dir/emu/corpus.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/emu/corpus.cpp.o.d"
+  "/root/repo/src/emu/firmadyne_sim.cpp" "src/CMakeFiles/dtaint.dir/emu/firmadyne_sim.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/emu/firmadyne_sim.cpp.o.d"
+  "/root/repo/src/firmware/extractor.cpp" "src/CMakeFiles/dtaint.dir/firmware/extractor.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/firmware/extractor.cpp.o.d"
+  "/root/repo/src/firmware/image.cpp" "src/CMakeFiles/dtaint.dir/firmware/image.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/firmware/image.cpp.o.d"
+  "/root/repo/src/firmware/packer.cpp" "src/CMakeFiles/dtaint.dir/firmware/packer.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/firmware/packer.cpp.o.d"
+  "/root/repo/src/ir/block.cpp" "src/CMakeFiles/dtaint.dir/ir/block.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/ir/block.cpp.o.d"
+  "/root/repo/src/ir/expr.cpp" "src/CMakeFiles/dtaint.dir/ir/expr.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/ir/expr.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/CMakeFiles/dtaint.dir/ir/printer.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/ir/printer.cpp.o.d"
+  "/root/repo/src/ir/stmt.cpp" "src/CMakeFiles/dtaint.dir/ir/stmt.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/ir/stmt.cpp.o.d"
+  "/root/repo/src/isa/asm_builder.cpp" "src/CMakeFiles/dtaint.dir/isa/asm_builder.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/isa/asm_builder.cpp.o.d"
+  "/root/repo/src/isa/decode.cpp" "src/CMakeFiles/dtaint.dir/isa/decode.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/isa/decode.cpp.o.d"
+  "/root/repo/src/isa/encode.cpp" "src/CMakeFiles/dtaint.dir/isa/encode.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/isa/encode.cpp.o.d"
+  "/root/repo/src/isa/insn.cpp" "src/CMakeFiles/dtaint.dir/isa/insn.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/isa/insn.cpp.o.d"
+  "/root/repo/src/isa/regs.cpp" "src/CMakeFiles/dtaint.dir/isa/regs.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/isa/regs.cpp.o.d"
+  "/root/repo/src/lifter/lifter.cpp" "src/CMakeFiles/dtaint.dir/lifter/lifter.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/lifter/lifter.cpp.o.d"
+  "/root/repo/src/report/json.cpp" "src/CMakeFiles/dtaint.dir/report/json.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/report/json.cpp.o.d"
+  "/root/repo/src/report/scoring.cpp" "src/CMakeFiles/dtaint.dir/report/scoring.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/report/scoring.cpp.o.d"
+  "/root/repo/src/report/table.cpp" "src/CMakeFiles/dtaint.dir/report/table.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/report/table.cpp.o.d"
+  "/root/repo/src/symexec/defpairs.cpp" "src/CMakeFiles/dtaint.dir/symexec/defpairs.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/symexec/defpairs.cpp.o.d"
+  "/root/repo/src/symexec/engine.cpp" "src/CMakeFiles/dtaint.dir/symexec/engine.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/symexec/engine.cpp.o.d"
+  "/root/repo/src/symexec/symexpr.cpp" "src/CMakeFiles/dtaint.dir/symexec/symexpr.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/symexec/symexpr.cpp.o.d"
+  "/root/repo/src/symexec/symstate.cpp" "src/CMakeFiles/dtaint.dir/symexec/symstate.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/symexec/symstate.cpp.o.d"
+  "/root/repo/src/symexec/types.cpp" "src/CMakeFiles/dtaint.dir/symexec/types.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/symexec/types.cpp.o.d"
+  "/root/repo/src/synth/codegen.cpp" "src/CMakeFiles/dtaint.dir/synth/codegen.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/synth/codegen.cpp.o.d"
+  "/root/repo/src/synth/firmware_synth.cpp" "src/CMakeFiles/dtaint.dir/synth/firmware_synth.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/synth/firmware_synth.cpp.o.d"
+  "/root/repo/src/synth/paper_images.cpp" "src/CMakeFiles/dtaint.dir/synth/paper_images.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/synth/paper_images.cpp.o.d"
+  "/root/repo/src/synth/progspec.cpp" "src/CMakeFiles/dtaint.dir/synth/progspec.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/synth/progspec.cpp.o.d"
+  "/root/repo/src/util/hash.cpp" "src/CMakeFiles/dtaint.dir/util/hash.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/util/hash.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/dtaint.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/status.cpp" "src/CMakeFiles/dtaint.dir/util/status.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/util/status.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/CMakeFiles/dtaint.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/util/strings.cpp.o.d"
+  "/root/repo/src/vm/vm.cpp" "src/CMakeFiles/dtaint.dir/vm/vm.cpp.o" "gcc" "src/CMakeFiles/dtaint.dir/vm/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binary_test.dir/binary_test.cpp.o"
+  "CMakeFiles/binary_test.dir/binary_test.cpp.o.d"
+  "binary_test"
+  "binary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtaint_test.dir/dtaint_test.cpp.o"
+  "CMakeFiles/dtaint_test.dir/dtaint_test.cpp.o.d"
+  "dtaint_test"
+  "dtaint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtaint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

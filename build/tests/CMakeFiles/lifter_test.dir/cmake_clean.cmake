@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifter_test.dir/lifter_test.cpp.o"
+  "CMakeFiles/lifter_test.dir/lifter_test.cpp.o.d"
+  "lifter_test"
+  "lifter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

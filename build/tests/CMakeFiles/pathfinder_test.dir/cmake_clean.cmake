@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathfinder_test.dir/pathfinder_test.cpp.o"
+  "CMakeFiles/pathfinder_test.dir/pathfinder_test.cpp.o.d"
+  "pathfinder_test"
+  "pathfinder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathfinder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structsim_test.dir/structsim_test.cpp.o"
+  "CMakeFiles/structsim_test.dir/structsim_test.cpp.o.d"
+  "structsim_test"
+  "structsim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symexec_test.dir/symexec_test.cpp.o"
+  "CMakeFiles/symexec_test.dir/symexec_test.cpp.o.d"
+  "symexec_test"
+  "symexec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symexec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

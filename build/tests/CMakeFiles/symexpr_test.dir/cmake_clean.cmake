@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symexpr_test.dir/symexpr_test.cpp.o"
+  "CMakeFiles/symexpr_test.dir/symexpr_test.cpp.o.d"
+  "symexpr_test"
+  "symexpr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symexpr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
