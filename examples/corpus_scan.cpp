@@ -6,9 +6,16 @@
 // load), then runs the whole pipeline over each and prints a fleet
 // report: per image the extraction outcome and findings, then vendor
 // aggregates and precision/recall over the planted ground truth.
+//
+// With `--cache-dir DIR`, one persistent function-summary cache is
+// shared across the whole fleet: identical functions in different
+// images (and the whole fleet on a re-run) are analyzed once.
 #include <cstdio>
+#include <cstring>
+#include <optional>
 
 #include "src/binary/loader.h"
+#include "src/cache/summary_cache.h"
 #include "src/core/dtaint.h"
 #include "src/firmware/extractor.h"
 #include "src/firmware/packer.h"
@@ -100,9 +107,19 @@ std::vector<CorpusItem> BuildCorpus() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::optional<SummaryCache> cache;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--cache-dir") == 0) {
+      CacheConfig cache_config;
+      cache_config.disk_dir = argv[i + 1];
+      cache.emplace(cache_config);
+    }
+  }
+
   std::vector<CorpusItem> corpus = BuildCorpus();
-  std::printf("fleet scan: %zu firmware images\n\n", corpus.size());
+  std::printf("fleet scan: %zu firmware images%s\n\n", corpus.size(),
+              cache ? " (summary cache enabled)" : "");
 
   TextTable table({"Image", "Arch", "Packing", "Extraction", "Fns",
                    "Findings", "TP", "FP+twin", "Missed"});
@@ -125,7 +142,9 @@ int main() {
         extracted->image.FindFile(item.spec.binary_path);
     auto binary = BinaryLoader::Load(file->bytes);
     if (!binary.ok()) continue;
-    DTaint detector;
+    DTaintConfig config;
+    if (cache) config.interproc.cache = &*cache;
+    DTaint detector(config);
     auto report = detector.Analyze(*binary);
     if (!report.ok()) continue;
     DetectionScore score =

@@ -7,14 +7,20 @@
 //   dtaint_cli extract <image.dtfw>
 //   dtaint_cli inspect <image.dtfw> [function]
 //   dtaint_cli scan <image.dtfw> [--json] [--no-alias]
-//              [--no-structsim] [--threads N]
+//              [--no-structsim] [--threads N] [--cache-dir DIR]
+//
+// --cache-dir enables the persistent function-summary cache: summaries
+// are stored content-addressed under DIR and re-used by later scans of
+// unchanged functions (identical findings, much faster re-scan).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/binary/loader.h"
+#include "src/cache/summary_cache.h"
 #include "src/core/dtaint.h"
 #include "src/firmware/extractor.h"
 #include "src/firmware/packer.h"
@@ -246,6 +252,13 @@ int CmdScan(int argc, char** argv) {
   if (const char* threads = FlagValue(argc, argv, "--threads")) {
     config.interproc.num_threads = atoi(threads);
   }
+  std::optional<SummaryCache> cache;
+  if (const char* dir = FlagValue(argc, argv, "--cache-dir")) {
+    CacheConfig cache_config;
+    cache_config.disk_dir = dir;
+    cache.emplace(cache_config);
+    config.interproc.cache = &*cache;
+  }
   DTaint detector(config);
   auto report = detector.Analyze(*binary);
   if (!report.ok()) {
@@ -269,6 +282,15 @@ int CmdScan(int argc, char** argv) {
                     HexStr(hop.site).c_str(), hop.note.c_str());
       }
     }
+  }
+  if (cache) {
+    CacheStats cs = cache->stats();
+    // stderr so `--json` stdout stays machine-parseable.
+    std::fprintf(stderr,
+                 "summary cache: %zu hit(s), %zu miss(es), %zu from disk, "
+                 "%zu corrupt, %zu stored\n",
+                 cs.hits, cs.misses, cs.disk_hits, cs.corrupt_entries,
+                 cs.stores);
   }
   return report->findings.empty() ? 0 : 3;  // CI-friendly exit code
 }

@@ -1,0 +1,247 @@
+#include "src/cache/summary_cache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/cache/summary_codec.h"
+
+namespace dtaint {
+
+namespace {
+
+void MixExpr(Fingerprint128& fp, const ExprRef& e) {
+  if (!e) {
+    fp.Mix(0);
+    return;
+  }
+  fp.Mix(static_cast<uint64_t>(e->kind()) + 1);
+  switch (e->kind()) {
+    case ExprKind::kConst:
+      fp.Mix(e->const_value());
+      break;
+    case ExprKind::kRdTmp:
+      fp.Mix(static_cast<uint64_t>(e->tmp()));
+      break;
+    case ExprKind::kGet:
+      fp.Mix(static_cast<uint64_t>(e->reg()));
+      break;
+    case ExprKind::kLoad:
+      fp.Mix(e->load_size());
+      MixExpr(fp, e->lhs());
+      break;
+    case ExprKind::kBinop:
+      fp.Mix(static_cast<uint64_t>(e->binop()));
+      MixExpr(fp, e->lhs());
+      MixExpr(fp, e->rhs());
+      break;
+  }
+}
+
+void MixStmt(Fingerprint128& fp, const Stmt& stmt) {
+  fp.Mix(static_cast<uint64_t>(stmt.kind));
+  fp.Mix(stmt.addr);
+  fp.Mix(static_cast<uint64_t>(stmt.tmp));
+  fp.Mix(static_cast<uint64_t>(stmt.reg));
+  fp.Mix(stmt.size);
+  fp.Mix(stmt.target);
+  MixExpr(fp, stmt.expr);
+  MixExpr(fp, stmt.addr_expr);
+  MixExpr(fp, stmt.data_expr);
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+bool WriteFileAtomic(const std::string& path,
+                     std::span<const uint8_t> bytes) {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out.good()) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) std::filesystem::remove(tmp, ec);
+  return !ec;
+}
+
+}  // namespace
+
+Hash128 EngineFingerprint(const Binary& binary, const EngineConfig& config,
+                          bool apply_alias) {
+  Fingerprint128 fp;
+  fp.Mix(kSummaryCodecVersion);
+  fp.Mix(static_cast<uint64_t>(binary.arch));
+  fp.Mix(static_cast<uint64_t>(config.max_paths));
+  fp.Mix(static_cast<uint64_t>(config.max_block_visits));
+  fp.Mix(static_cast<uint64_t>(config.max_expr_depth));
+  fp.Mix(config.record_types ? 1 : 0);
+  fp.Mix(apply_alias ? 1 : 0);
+  // The engine concretizes constant-address loads out of mapped data
+  // sections (string literals, dispatch tables), so those bytes are
+  // analysis input. Text bytes are covered per-function by the lifted
+  // IR instead, which is what lets identical functions share entries.
+  for (const Section& section : binary.sections) {
+    if (section.kind == SectionKind::kText) continue;
+    fp.Mix(section.name);
+    fp.Mix(section.addr);
+    fp.Mix(section.size);
+    fp.Mix(std::span<const uint8_t>(section.bytes));
+  }
+  // Import stub addresses decide which calls get library models.
+  for (const Import& import : binary.imports) {
+    fp.Mix(import.name);
+    fp.Mix(import.stub_addr);
+  }
+  return fp.Digest();
+}
+
+Hash128 FunctionKey(const Function& fn, const Hash128& engine_fingerprint) {
+  Fingerprint128 fp;
+  fp.Mix(engine_fingerprint.hi);
+  fp.Mix(engine_fingerprint.lo);
+  fp.Mix(fn.name);
+  fp.Mix(fn.addr);
+  fp.Mix(fn.size);
+
+  fp.Mix(fn.blocks.size());
+  for (const auto& [addr, block] : fn.blocks) {
+    fp.Mix(addr);
+    fp.Mix(block.size);
+    fp.Mix(static_cast<uint64_t>(block.next_tmp));
+    fp.Mix(static_cast<uint64_t>(block.jumpkind));
+    fp.Mix(block.return_addr);
+    MixExpr(fp, block.next);
+    fp.Mix(block.stmts.size());
+    for (const Stmt& stmt : block.stmts) MixStmt(fp, stmt);
+  }
+
+  fp.Mix(fn.succs.size());
+  for (const auto& [from, tos] : fn.succs) {
+    fp.Mix(from);
+    fp.Mix(tos.size());
+    for (uint32_t to : tos) fp.Mix(to);
+  }
+
+  fp.Mix(fn.callsites.size());
+  for (const CallSite& cs : fn.callsites) {
+    fp.Mix(cs.block_addr);
+    fp.Mix(cs.call_addr);
+    fp.Mix(cs.return_addr);
+    fp.Mix(cs.is_indirect ? 1 : 0);
+    fp.Mix(cs.target_addr);
+    fp.Mix(cs.target_name);
+    fp.Mix(cs.target_is_import ? 1 : 0);
+    // resolved_targets intentionally not mixed — see header.
+  }
+  return fp.Digest();
+}
+
+SummaryCache::SummaryCache(CacheConfig config)
+    : config_(std::move(config)) {}
+
+std::string SummaryCache::PathFor(const Hash128& key) const {
+  return config_.disk_dir + "/" + key.ToHex() + ".dtsc";
+}
+
+std::optional<FunctionSummary> SummaryCache::Lookup(const Hash128& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    auto decoded = DecodeSummary(it->second->blob);
+    if (decoded.ok()) {
+      ++stats_.hits;
+      return std::move(*decoded);
+    }
+    // Poisoned in-memory entry (should be impossible, but never trust
+    // a cache): drop it and fall through to disk/miss.
+    ++stats_.corrupt_entries;
+    stats_.memory_bytes -= it->second->blob.size();
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+
+  if (!config_.disk_dir.empty()) {
+    std::vector<uint8_t> blob = ReadFileBytes(PathFor(key));
+    if (!blob.empty()) {
+      auto decoded = DecodeSummary(blob);
+      if (decoded.ok()) {
+        InsertMemoryLocked(key, std::move(blob));
+        ++stats_.hits;
+        ++stats_.disk_hits;
+        return std::move(*decoded);
+      }
+      // Bad entry on disk: count it, treat as miss; the recompute's
+      // Store will overwrite the damaged file.
+      ++stats_.corrupt_entries;
+    }
+  }
+
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void SummaryCache::Store(const Hash128& key, const FunctionSummary& summary) {
+  std::vector<uint8_t> blob = EncodeSummary(summary);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.stores;
+  if (!config_.disk_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.disk_dir, ec);
+    if (!ec) {
+      WriteFileAtomic(PathFor(key), blob);
+      if (config_.write_debug_json) {
+        std::string json = SummaryToDebugJson(summary);
+        WriteFileAtomic(
+            config_.disk_dir + "/" + key.ToHex() + ".json",
+            std::span<const uint8_t>(
+                reinterpret_cast<const uint8_t*>(json.data()), json.size()));
+      }
+    }
+  }
+  InsertMemoryLocked(key, std::move(blob));
+}
+
+void SummaryCache::InsertMemoryLocked(const Hash128& key,
+                                      std::vector<uint8_t> blob) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    stats_.memory_bytes -= it->second->blob.size();
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  stats_.memory_bytes += blob.size();
+  lru_.push_front(Entry{key, std::move(blob)});
+  index_[key] = lru_.begin();
+  EvictLocked();
+  stats_.memory_entries = index_.size();
+}
+
+void SummaryCache::EvictLocked() {
+  while (!lru_.empty() && (index_.size() > config_.max_memory_entries ||
+                           stats_.memory_bytes > config_.max_memory_bytes)) {
+    if (index_.size() == 1) break;  // always keep the newest entry
+    stats_.memory_bytes -= lru_.back().blob.size();
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+CacheStats SummaryCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace dtaint

@@ -91,6 +91,7 @@ Result<AnalysisReport> DTaint::AnalyzeFunctions(
   ProgramAnalysis analysis =
       RunBottomUp(program, graph, engine, interproc_config);
   report.ssa_seconds = SecondsSince(t_ssa);
+  double summary_seconds = analysis.stats.summary_seconds;
 
   // 3. Indirect-call resolution via structure-layout similarity, then
   // re-link so flows cross the resolved edges.
@@ -101,9 +102,12 @@ Result<AnalysisReport> DTaint::AnalyzeFunctions(
     if (!resolutions.empty()) {
       CallGraph graph2 = CallGraph::Build(program);
       analysis = RunBottomUp(program, graph2, engine, interproc_config);
+      summary_seconds += analysis.stats.summary_seconds;
     }
   }
   report.interproc_stats = analysis.stats;
+  // Both bottom-up passes produce summaries; report the combined time.
+  report.interproc_stats.summary_seconds = summary_seconds;
   report.call_graph_edges = program.CallEdgeCount();
 
   // 4. Sink-to-source path search + sanitization checks.

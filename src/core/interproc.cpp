@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <thread>
 
+#include "src/cache/summary_cache.h"
 #include "src/core/alias.h"
 #include "src/util/hash.h"
 
@@ -81,33 +83,83 @@ ProgramAnalysis RunBottomUp(const Program& program, const CallGraph& graph,
   const std::vector<std::string> order = graph.BottomUpOrder();
 
   // Phase 1: intraprocedural static symbolic analysis — exactly once
-  // per function. The analyses are independent of each other, so with
-  // num_threads > 1 they run on a worker pool; results land in a
-  // pre-sized slot vector so no synchronization beyond the work-index
-  // counter is needed.
+  // per function (and, with a summary cache configured, once per
+  // function *content* across runs). The analyses are independent of
+  // each other, so with num_threads > 1 they run on a worker pool;
+  // results land in a pre-sized slot vector so no synchronization
+  // beyond the work-index counter (and the cache's internal lock) is
+  // needed.
   std::vector<FunctionSummary> base(order.size());
-  int threads = std::max(1, config.num_threads);
-  if (threads == 1) {
-    for (size_t i = 0; i < order.size(); ++i) {
-      if (const Function* fn = program.FindFunction(order[i])) {
-        base[i] = engine.Analyze(*fn);
-      }
+  SummaryCache* cache = config.cache;
+  Hash128 engine_fp;
+  CacheStats cache_before;
+  if (cache) {
+    engine_fp =
+        EngineFingerprint(engine.binary(), engine.config(), config.apply_alias);
+    cache_before = cache->stats();
+  }
+
+  // Step 2 (pointer-alias recognition, Algorithm 1) runs here rather
+  // than in the linking phase: it is a per-function rewrite of the
+  // summary alone, so it parallelizes with the analyses and — because
+  // apply_alias is part of the engine fingerprint — its output is just
+  // as content-addressable. Caching the post-alias summary keeps the
+  // whole rewrite off the warm path.
+  auto produce = [&](const Function& fn) {
+    FunctionSummary summary = engine.Analyze(fn);
+    if (config.apply_alias) {
+      summary.alias_pairs = AliasReplace(summary).pairs_added;
     }
+    return summary;
+  };
+  auto analyze_one = [&](size_t i) {
+    const Function* fn = program.FindFunction(order[i]);
+    if (!fn) return;
+    if (cache) {
+      Hash128 key = FunctionKey(*fn, engine_fp);
+      if (auto cached = cache->Lookup(key)) {
+        base[i] = std::move(*cached);
+        return;
+      }
+      base[i] = produce(*fn);
+      cache->Store(key, base[i]);
+    } else {
+      base[i] = produce(*fn);
+    }
+  };
+
+  // Clamp the pool to the number of work items: spawning thousands of
+  // idle threads for a small binary wastes resources, and an oversized
+  // request (`--threads 10000`) could otherwise die with
+  // std::system_error at thread creation.
+  int threads = static_cast<int>(std::min<size_t>(
+      static_cast<size_t>(std::max(1, config.num_threads)),
+      std::max<size_t>(1, order.size())));
+  auto t_phase1 = std::chrono::steady_clock::now();
+  if (threads == 1) {
+    for (size_t i = 0; i < order.size(); ++i) analyze_one(i);
   } else {
     std::atomic<size_t> next{0};
     auto worker = [&] {
       for (;;) {
         size_t i = next.fetch_add(1);
         if (i >= order.size()) return;
-        if (const Function* fn = program.FindFunction(order[i])) {
-          base[i] = engine.Analyze(*fn);
-        }
+        analyze_one(i);
       }
     };
     std::vector<std::thread> pool;
     pool.reserve(threads);
     for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
     for (std::thread& t : pool) t.join();
+  }
+  analysis.stats.summary_seconds = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - t_phase1).count();
+  if (cache) {
+    CacheStats now = cache->stats();
+    analysis.stats.cache_hits = now.hits - cache_before.hits;
+    analysis.stats.cache_misses = now.misses - cache_before.misses;
+    analysis.stats.cache_evictions = now.evictions;
+    analysis.stats.cache_memory_bytes = now.memory_bytes;
   }
 
   // Phase 2: linking, sequential in bottom-up order (each caller needs
@@ -119,11 +171,9 @@ ProgramAnalysis RunBottomUp(const Program& program, const CallGraph& graph,
 
     FunctionSummary summary = std::move(base[order_index]);
 
-    // Step 2: pointer-alias recognition (Algorithm 1).
-    if (config.apply_alias) {
-      AliasResult alias = AliasReplace(summary);
-      analysis.stats.alias_pairs_added += alias.pairs_added;
-    }
+    // Step 2 (alias recognition) already ran in phase 1; fold its
+    // per-function count into the program stats.
+    analysis.stats.alias_pairs_added += summary.alias_pairs;
 
     // Step 3: link against already-processed callees (Algorithm 2).
     std::vector<DefPair> imported_defs;

@@ -32,6 +32,8 @@
 
 namespace dtaint {
 
+class SummaryCache;
+
 struct InterprocConfig {
   bool apply_alias = true;     // run Algorithm 1 on each summary
   /// Cap on defs/uses imported per callsite (keeps linking linear on
@@ -46,14 +48,32 @@ struct InterprocConfig {
   /// arena/thread-caching allocator or far heavier per-function
   /// budgets. 1 = sequential (default; matches the paper's prototype).
   int num_threads = 1;
+  /// Optional persistent function-summary cache (off by default). When
+  /// set, the intraprocedural phase looks up each function's summary by
+  /// its content-addressed key before analyzing, and stores misses
+  /// after. Results are identical with or without the cache — enforced
+  /// by the differential-oracle test suite. The cache is internally
+  /// synchronized; sharing one across threads and scans is safe.
+  SummaryCache* cache = nullptr;
 };
 
 struct InterprocStats {
+  /// Wall time of phase 1 — per-function summary production (symbolic
+  /// analysis + alias rewrite, or a cache hit). This is exactly the
+  /// work a summary cache can serve, so bench/cache_warm reports its
+  /// cold-vs-warm ratio separately from end-to-end wall time.
+  double summary_seconds = 0.0;
   size_t functions_processed = 0;
   size_t defs_propagated = 0;
   size_t uses_forwarded = 0;
   size_t rets_replaced = 0;
   size_t alias_pairs_added = 0;
+  /// Summary-cache counters for this pass (zero when no cache is
+  /// configured). Hits + misses = functions looked up.
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  size_t cache_evictions = 0;   // lifetime evictions of the shared cache
+  size_t cache_memory_bytes = 0;  // in-memory tier footprint after the pass
 };
 
 /// Whole-program analysis state after the bottom-up pass: per-function

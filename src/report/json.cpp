@@ -76,29 +76,6 @@ class JsonBuilder {
 
 }  // namespace
 
-std::string JsonEscape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 std::string ReportToJson(const AnalysisReport& report) {
   JsonBuilder json;
   json.BeginObject();
@@ -137,6 +114,36 @@ std::string ReportToJson(const AnalysisReport& report) {
   json.Number(static_cast<uint64_t>(report.total_paths));
   json.Key("vulnerable");
   json.Number(static_cast<uint64_t>(report.vulnerable_paths));
+  json.EndObject();
+
+  json.Key("interproc");
+  json.BeginObject();
+  json.Key("summary_seconds");
+  json.Number(report.interproc_stats.summary_seconds);
+  json.Key("functions_processed");
+  json.Number(static_cast<uint64_t>(report.interproc_stats.functions_processed));
+  json.Key("defs_propagated");
+  json.Number(static_cast<uint64_t>(report.interproc_stats.defs_propagated));
+  json.Key("uses_forwarded");
+  json.Number(static_cast<uint64_t>(report.interproc_stats.uses_forwarded));
+  json.Key("rets_replaced");
+  json.Number(static_cast<uint64_t>(report.interproc_stats.rets_replaced));
+  json.Key("alias_pairs_added");
+  json.Number(static_cast<uint64_t>(report.interproc_stats.alias_pairs_added));
+  json.Key("indirect_calls_resolved");
+  json.Number(static_cast<uint64_t>(report.indirect_calls_resolved));
+  json.Key("cache");
+  json.BeginObject();
+  json.Key("hits");
+  json.Number(static_cast<uint64_t>(report.interproc_stats.cache_hits));
+  json.Key("misses");
+  json.Number(static_cast<uint64_t>(report.interproc_stats.cache_misses));
+  json.Key("evictions");
+  json.Number(static_cast<uint64_t>(report.interproc_stats.cache_evictions));
+  json.Key("memory_bytes");
+  json.Number(
+      static_cast<uint64_t>(report.interproc_stats.cache_memory_bytes));
+  json.EndObject();
   json.EndObject();
 
   json.Key("findings");

@@ -6,11 +6,9 @@
 
 #include "src/core/dtaint.h"
 #include "src/report/scoring.h"
+#include "src/util/strings.h"  // JsonEscape
 
 namespace dtaint {
-
-/// Minimal JSON string escaping (quotes, backslash, control chars).
-std::string JsonEscape(std::string_view text);
 
 /// Serializes a full analysis report:
 /// { "binary": ..., "arch": ..., "shape": {...}, "timings": {...},

@@ -80,6 +80,10 @@ struct FunctionSummary {
   int paths_explored = 0;
   int blocks_visited = 0;
   bool truncated = false;  // hit a path/step budget
+  /// Def pairs added by the alias pass (Algorithm 1), once it has run
+  /// over this summary. Carried here so a summary served from the
+  /// persistent cache reports the same count as one aliased in-process.
+  size_t alias_pairs = 0;
 
   /// Definition pairs whose location root is a formal argument or a
   /// returned pointer — the part of the summary callers must see.

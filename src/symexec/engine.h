@@ -43,6 +43,7 @@ class SymEngine {
   FunctionSummary Analyze(const Function& fn) const;
 
   const EngineConfig& config() const { return config_; }
+  const Binary& binary() const { return binary_; }
 
  private:
   const Binary& binary_;

@@ -50,6 +50,18 @@ class TypeMap {
   /// Merges all observations from `other` into this map.
   void MergeFrom(const TypeMap& other);
 
+  /// Raw (expression-hash → type) entries, in sorted order. Exposed for
+  /// the summary-cache codec, which must persist and restore the map
+  /// byte-exactly.
+  const std::map<uint64_t, ValueType>& entries() const { return types_; }
+
+  /// Reinserts a raw entry (summary-cache codec decode path). Joined
+  /// with any existing evidence, same as Observe.
+  void Restore(uint64_t expr_hash, ValueType type) {
+    ValueType& slot = types_[expr_hash];
+    slot = JoinTypes(slot, type);
+  }
+
  private:
   // Hash collisions are acceptable here: they merge type evidence of
   // two expressions, which only ever widens a type to pointer.

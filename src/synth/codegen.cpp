@@ -513,6 +513,24 @@ Status CodeGen::EmitFillers() {
 
     for (int d = 0; d < diamonds; ++d) {
       std::string skip = "skip" + std::to_string(d);
+      // Optional checksum/parse-style arithmetic: pure scratch-register
+      // compute, never stored or passed — heavy to execute, invisible
+      // in the summary.
+      // (s3/s4 only: those never reach a store, argument, or return,
+      // so the burst cannot inflate the recorded summary.)
+      for (int k = 0; k < spec_.filler_alu_burst; ++k) {
+        switch (k % 3) {
+          case 0:
+            b.AddR(r_.s4, r_.s4, r_.s3);
+            break;
+          case 1:
+            b.LslI(r_.s3, r_.s4, static_cast<int32_t>(rng_.Range(1, 3)));
+            break;
+          default:
+            b.MulR(r_.s4, r_.s3, r_.s4);
+            break;
+        }
+      }
       // A few ALU ops on scratch registers.
       int ops = static_cast<int>(rng_.Range(1, 4));
       for (int k = 0; k < ops; ++k) {

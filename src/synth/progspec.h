@@ -57,6 +57,12 @@ struct ProgramSpec {
   int filler_max_blocks = 22;
   /// Average outgoing direct calls per filler (call-edge density).
   double filler_call_density = 3.0;
+  /// Extra straight-line ALU instructions per filler block, modeling
+  /// compute-dense firmware (checksum/parse arithmetic). They cost
+  /// symbolic-execution time on every path but record nothing in the
+  /// function summary, so they shift the analyze-vs-summary-size
+  /// balance toward analysis. 0 = the classic shape.
+  int filler_alu_burst = 0;
 };
 
 /// Synthesis output: the built binary plus its ground truth.

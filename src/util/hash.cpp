@@ -20,4 +20,57 @@ uint64_t Fnv1a(std::string_view text, uint64_t seed) {
   return h;
 }
 
+namespace {
+
+/// splitmix64 finalizer: full-avalanche mixing of one 64-bit lane.
+uint64_t Avalanche(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+std::string Hash128::ToHex() const {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[15 - i] = kDigits[(hi >> (4 * i)) & 0xF];
+    out[31 - i] = kDigits[(lo >> (4 * i)) & 0xF];
+  }
+  return out;
+}
+
+Fingerprint128& Fingerprint128::Mix(std::string_view text) {
+  // Length first so "ab"+"c" and "a"+"bc" mix differently.
+  Mix(static_cast<uint64_t>(text.size()));
+  uint64_t word = 0;
+  int filled = 0;
+  for (char c : text) {
+    word = (word << 8) | static_cast<uint8_t>(c);
+    if (++filled == 8) {
+      Mix(word);
+      word = 0;
+      filled = 0;
+    }
+  }
+  if (filled > 0) Mix(word);
+  return *this;
+}
+
+Fingerprint128& Fingerprint128::Mix(std::span<const uint8_t> bytes) {
+  return Mix(std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                              bytes.size()));
+}
+
+Hash128 Fingerprint128::Digest() const {
+  Hash128 digest;
+  digest.hi = Avalanche(a_ + 0x2545F4914F6CDD1DULL * length_);
+  digest.lo = Avalanche(b_ ^ Avalanche(a_));
+  return digest;
+}
+
 }  // namespace dtaint

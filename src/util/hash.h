@@ -1,11 +1,14 @@
-// FNV-1a hashing and hash-combining helpers.
+// FNV-1a hashing, hash-combining helpers, and the stable 128-bit
+// fingerprint used as the function-summary cache key.
 //
 // Used for heap-pointer identity (hash of the callsite chain, paper
-// §III-E), expression interning, and firmware image checksums.
+// §III-E), expression interning, firmware image checksums, and
+// content-addressed summary caching.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <string_view>
 
 namespace dtaint {
@@ -24,5 +27,48 @@ constexpr uint64_t HashCombine(uint64_t h, uint64_t v) {
   h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
   return h;
 }
+
+/// A 128-bit digest. Ordered so it can key std::map.
+struct Hash128 {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool operator==(const Hash128& other) const = default;
+  bool operator<(const Hash128& other) const {
+    return hi != other.hi ? hi < other.hi : lo < other.lo;
+  }
+
+  /// 32 lowercase hex characters (hi then lo) — the on-disk cache
+  /// entry's file name.
+  std::string ToHex() const;
+};
+
+/// Streaming 128-bit fingerprint builder (two decorrelated FNV-style
+/// lanes plus a strong finalizer). The digest depends only on the
+/// sequence of mixed *values* — never on pointers or iteration order of
+/// unordered containers — so it is stable across process runs, which is
+/// what lets cache entries written by one scan be reused by the next.
+class Fingerprint128 {
+ public:
+  // Inline: key derivation mixes one value per IR field, so this runs
+  // hundreds of thousands of times per scanned function.
+  Fingerprint128& Mix(uint64_t v) {
+    // Two FNV-style lanes with different primes; the second lane also
+    // folds in the running position so swapped values land differently.
+    a_ = (a_ ^ v) * kFnvPrime;
+    b_ = (b_ ^ (v + 0x9E3779B97F4A7C15ULL + length_)) * 0xC2B2AE3D27D4EB4FULL;
+    ++length_;
+    return *this;
+  }
+  Fingerprint128& Mix(std::string_view text);
+  Fingerprint128& Mix(std::span<const uint8_t> bytes);
+
+  Hash128 Digest() const;
+
+ private:
+  uint64_t a_ = kFnvOffset;
+  uint64_t b_ = 0x9AE16A3B2F90404FULL;
+  uint64_t length_ = 0;
+};
 
 }  // namespace dtaint

@@ -29,4 +29,9 @@ std::string FmtDouble(double v, int decimals);
 /// Formats an integer with thousands separators: 1234567 -> "1,234,567".
 std::string WithCommas(uint64_t v);
 
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+/// Lives here, below both src/report and src/cache, so the summary
+/// cache's debug dumps don't have to depend on the report layer.
+std::string JsonEscape(std::string_view text);
+
 }  // namespace dtaint

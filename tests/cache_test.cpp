@@ -1,0 +1,485 @@
+// Unit tests for the persistent function-summary cache: the versioned
+// binary codec (round trip, corruption rejection, version skew), the
+// two cache tiers (LRU memory + on-disk store), and the fingerprint
+// properties the content-addressed keys must satisfy (stability across
+// independent builds and process runs; sensitivity to any single
+// instruction mutation and to every analysis-relevant config knob).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "src/binary/writer.h"
+#include "src/cache/summary_cache.h"
+#include "src/cache/summary_codec.h"
+#include "src/cfg/cfg_builder.h"
+#include "src/isa/asm_builder.h"
+#include "src/symexec/engine.h"
+#include "src/synth/firmware_synth.h"
+#include "src/util/rng.h"
+#include "tests/testing/random_insn.h"
+
+namespace dtaint {
+namespace {
+
+using testing_util::RandomInsnForOp;
+namespace fs = std::filesystem;
+
+// ---------- shared helpers ---------------------------------------------------
+
+/// A handmade summary exercising every encodable field.
+FunctionSummary TinySummary(const std::string& name, uint32_t salt = 0) {
+  FunctionSummary s;
+  s.name = name;
+  s.addr = 0x10000 + salt;
+  DefPair dp;
+  dp.d = SymExpr::Deref(SymAdd(SymExpr::Arg(0), 8), 4);
+  dp.u = SymExpr::Taint(0x10010 + salt, "recv");
+  dp.site = 0x10010 + salt;
+  dp.path_id = 1;
+  PathConstraint c;
+  c.op = BinOp::kCmpLt;
+  c.lhs = SymExpr::Arg(1);
+  c.rhs = SymExpr::Const(64);
+  c.taken = true;
+  c.site = 0x10008;
+  dp.constraints.push_back(c);
+  s.def_pairs.push_back(dp);
+
+  UseRecord use;
+  use.u = SymExpr::Deref(SymExpr::Arg(2), 1);
+  use.site = 0x10020;
+  use.path_id = 2;
+  s.undefined_uses.push_back(use);
+
+  CallEvent call;
+  call.callsite = 0x10030;
+  call.callee = "memcpy";
+  call.is_import = true;
+  call.args = {SymExpr::Arg(0), SymExpr::Taint(0x10010, "recv"), nullptr};
+  call.path_id = 1;
+  s.calls.push_back(call);
+
+  s.return_values.push_back(SymExpr::Heap(0xDEADBEEF + salt));
+  s.return_values.push_back(nullptr);
+  s.types.Observe(SymExpr::Arg(0), ValueType::kPtr);
+  s.paths_explored = 3;
+  s.blocks_visited = 17;
+  s.truncated = false;
+  s.alias_pairs = 2 + salt;
+  return s;
+}
+
+/// Summaries produced by the real engine over a synthesized binary —
+/// the representative workload for round-trip testing.
+std::vector<FunctionSummary> EngineSummaries(uint64_t seed, Arch arch) {
+  ProgramSpec spec;
+  spec.name = "codec";
+  spec.arch = arch;
+  spec.seed = seed;
+  spec.filler_functions = 12;
+  PlantSpec p;
+  p.id = "v";
+  p.pattern = VulnPattern::kAliasChain;
+  p.source = "recv";
+  p.sink = "strcpy";
+  spec.plants = {p};
+  auto out = SynthesizeBinary(spec);
+  EXPECT_TRUE(out.ok());
+  CfgBuilder builder(out->binary);
+  auto program = builder.BuildProgram();
+  EXPECT_TRUE(program.ok());
+  SymEngine engine(out->binary);
+  std::vector<FunctionSummary> summaries;
+  for (const auto& [name, fn] : program->functions) {
+    summaries.push_back(engine.Analyze(fn));
+  }
+  return summaries;
+}
+
+// ---------- codec: round trip ------------------------------------------------
+
+TEST(SummaryCodec, HandmadeSummaryRoundTripsByteIdentical) {
+  FunctionSummary original = TinySummary("f");
+  std::vector<uint8_t> blob = EncodeSummary(original);
+  auto decoded = DecodeSummary(blob);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->name, original.name);
+  EXPECT_EQ(decoded->addr, original.addr);
+  EXPECT_EQ(decoded->def_pairs.size(), original.def_pairs.size());
+  EXPECT_EQ(decoded->calls.size(), original.calls.size());
+  // The strong identity check: re-encoding the decode reproduces the
+  // exact bytes, so no field is lost or renormalized differently.
+  EXPECT_EQ(EncodeSummary(*decoded), blob);
+}
+
+TEST(SummaryCodec, EngineSummariesRoundTripByteIdentical) {
+  for (Arch arch : {Arch::kDtArm, Arch::kDtMips}) {
+    for (const FunctionSummary& summary : EngineSummaries(7, arch)) {
+      std::vector<uint8_t> blob = EncodeSummary(summary);
+      auto decoded = DecodeSummary(blob);
+      ASSERT_TRUE(decoded.ok())
+          << summary.name << ": " << decoded.status().ToString();
+      EXPECT_EQ(EncodeSummary(*decoded), blob) << summary.name;
+    }
+  }
+}
+
+TEST(SummaryCodec, DebugJsonMentionsEveryDefPair) {
+  FunctionSummary s = TinySummary("dbg");
+  std::string json = SummaryToDebugJson(s);
+  EXPECT_NE(json.find("\"function\":\"dbg\""), std::string::npos);
+  EXPECT_NE(json.find("recv"), std::string::npos);
+  EXPECT_NE(json.find("memcpy"), std::string::npos);
+}
+
+// ---------- codec: rejection of damaged blobs --------------------------------
+
+TEST(SummaryCodec, EveryTruncationIsRejected) {
+  std::vector<uint8_t> blob = EncodeSummary(TinySummary("t"));
+  for (size_t len = 0; len < blob.size(); ++len) {
+    auto r = DecodeSummary(std::span<const uint8_t>(blob.data(), len));
+    EXPECT_FALSE(r.ok()) << "prefix of " << len << " bytes parsed";
+  }
+}
+
+TEST(SummaryCodec, FuzzMutationsNeverParseAndNeverCrash) {
+  std::vector<uint8_t> pristine = EncodeSummary(TinySummary("fz"));
+  Rng rng(20260805);
+  int rejected = 0;
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::vector<uint8_t> bytes = pristine;
+    switch (rng.Below(3)) {
+      case 0:  // bit flip
+        bytes[rng.Below(bytes.size())] ^=
+            static_cast<uint8_t>(1u << rng.Below(8));
+        break;
+      case 1:  // byte splice
+        bytes[rng.Below(bytes.size())] =
+            static_cast<uint8_t>(rng.Below(256));
+        break;
+      default:  // truncate
+        bytes.resize(rng.Below(bytes.size()));
+        break;
+    }
+    if (bytes == pristine) continue;  // splice may be a no-op
+    auto r = DecodeSummary(bytes);  // must not crash
+    EXPECT_FALSE(r.ok());
+    if (!r.ok()) ++rejected;
+  }
+  // Overwhelmingly most trials are real mutations; make sure the loop
+  // did not silently skip everything.
+  EXPECT_GT(rejected, 900);
+}
+
+TEST(SummaryCodec, FutureCodecVersionIsUnsupportedNotCorrupt) {
+  std::vector<uint8_t> blob = EncodeSummary(TinySummary("vv"));
+  // Patch the version field (bytes [4..5], little-endian, right after
+  // the u32 magic) and re-seal the trailing checksum so the blob is
+  // otherwise valid — this is what a file written by a *newer* build
+  // looks like to this one.
+  uint16_t future = kSummaryCodecVersion + 1;
+  blob[4] = static_cast<uint8_t>(future);
+  blob[5] = static_cast<uint8_t>(future >> 8);
+  uint64_t checksum = Fnv1a(
+      std::span<const uint8_t>(blob.data(), blob.size() - 8));
+  for (int i = 0; i < 8; ++i) {
+    blob[blob.size() - 8 + i] = static_cast<uint8_t>(checksum >> (8 * i));
+  }
+  auto r = DecodeSummary(blob);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(SummaryCodec, ChecksumFailureIsCorruptData) {
+  std::vector<uint8_t> blob = EncodeSummary(TinySummary("ck"));
+  blob[10] ^= 0x40;
+  auto r = DecodeSummary(blob);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruptData);
+}
+
+// ---------- cache tiers ------------------------------------------------------
+
+TEST(SummaryCacheTier, MemoryLruEvictsBeyondEntryCap) {
+  CacheConfig config;
+  config.max_memory_entries = 2;
+  SummaryCache cache(config);
+  Hash128 k1{1, 1}, k2{1, 2}, k3{1, 3};
+  cache.Store(k1, TinySummary("a", 1));
+  cache.Store(k2, TinySummary("b", 2));
+  cache.Store(k3, TinySummary("c", 3));
+
+  CacheStats stats = cache.stats();
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_LE(stats.memory_entries, 2u);
+  // Oldest entry gone (no disk tier to fall back to), newest present.
+  EXPECT_FALSE(cache.Lookup(k1).has_value());
+  ASSERT_TRUE(cache.Lookup(k3).has_value());
+  EXPECT_EQ(cache.Lookup(k3)->name, "c");
+}
+
+TEST(SummaryCacheTier, LookupRefreshesLruRecency) {
+  CacheConfig config;
+  config.max_memory_entries = 2;
+  SummaryCache cache(config);
+  Hash128 k1{2, 1}, k2{2, 2}, k3{2, 3};
+  cache.Store(k1, TinySummary("a", 1));
+  cache.Store(k2, TinySummary("b", 2));
+  ASSERT_TRUE(cache.Lookup(k1).has_value());  // k1 now most-recent
+  cache.Store(k3, TinySummary("c", 3));       // should evict k2, not k1
+  EXPECT_TRUE(cache.Lookup(k1).has_value());
+  EXPECT_FALSE(cache.Lookup(k2).has_value());
+}
+
+TEST(SummaryCacheTier, ByteBudgetBoundsMemoryFootprint) {
+  CacheConfig config;
+  config.max_memory_bytes = 256;  // far below a few summaries' size
+  SummaryCache cache(config);
+  for (uint32_t i = 0; i < 8; ++i) {
+    cache.Store(Hash128{3, i}, TinySummary("s" + std::to_string(i), i));
+  }
+  CacheStats stats = cache.stats();
+  // The newest entry is always kept even if alone over-budget; beyond
+  // that the byte cap holds.
+  EXPECT_LE(stats.memory_entries, 2u);
+  EXPECT_GE(stats.evictions, 6u);
+}
+
+TEST(SummaryCacheTier, DiskTierPersistsAcrossInstances) {
+  fs::path dir = "cache_test_disk";
+  fs::remove_all(dir);
+  Hash128 key{4, 42};
+  {
+    CacheConfig config;
+    config.disk_dir = dir.string();
+    SummaryCache writer(config);
+    writer.Store(key, TinySummary("persisted"));
+    EXPECT_EQ(writer.stats().stores, 1u);
+  }
+  ASSERT_TRUE(fs::exists(dir / (key.ToHex() + ".dtsc")));
+  {
+    CacheConfig config;
+    config.disk_dir = dir.string();
+    SummaryCache reader(config);  // cold memory tier
+    auto hit = reader.Lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->name, "persisted");
+    CacheStats stats = reader.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.disk_hits, 1u);
+    // Promoted blob now serves from memory.
+    EXPECT_TRUE(reader.Lookup(key).has_value());
+    EXPECT_EQ(reader.stats().disk_hits, 1u);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(SummaryCacheTier, WriteDebugJsonDumpsSidecar) {
+  fs::path dir = "cache_test_json";
+  fs::remove_all(dir);
+  CacheConfig config;
+  config.disk_dir = dir.string();
+  config.write_debug_json = true;
+  SummaryCache cache(config);
+  Hash128 key{5, 5};
+  cache.Store(key, TinySummary("dumped"));
+  EXPECT_TRUE(fs::exists(dir / (key.ToHex() + ".json")));
+  fs::remove_all(dir);
+}
+
+TEST(SummaryCacheTier, CorruptDiskEntryIsMissThenRepaired) {
+  fs::path dir = "cache_test_corrupt";
+  fs::remove_all(dir);
+  CacheConfig config;
+  config.disk_dir = dir.string();
+  Hash128 key{6, 6};
+  {
+    SummaryCache writer(config);
+    writer.Store(key, TinySummary("victim"));
+  }
+  // Flip a byte in the middle of the stored blob.
+  fs::path file = dir / (key.ToHex() + ".dtsc");
+  {
+    std::vector<uint8_t> bytes;
+    {
+      std::ifstream in(file, std::ios::binary);
+      bytes.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+    }
+    ASSERT_FALSE(bytes.empty());
+    bytes[bytes.size() / 2] ^= 0xFF;
+    std::ofstream out(file, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  SummaryCache reader(config);
+  EXPECT_FALSE(reader.Lookup(key).has_value());  // never crashes
+  CacheStats stats = reader.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_GE(stats.corrupt_entries, 1u);
+  // The caller recomputes and stores; the bad file is overwritten and
+  // the entry serves again.
+  reader.Store(key, TinySummary("victim"));
+  SummaryCache reader2(config);
+  EXPECT_TRUE(reader2.Lookup(key).has_value());
+  fs::remove_all(dir);
+}
+
+// ---------- fingerprint properties -------------------------------------------
+
+/// Builds a one-function binary from an instruction list.
+Binary BuildFromInsns(const std::vector<Insn>& insns, Arch arch) {
+  FnBuilder b("f");
+  for (const Insn& insn : insns) b.Emit(insn);
+  b.Ret();
+  BinaryWriter writer(arch, "t");
+  writer.AddFunction(std::move(b).Finish().value());
+  return writer.Build().value();
+}
+
+Hash128 KeyOfFn(const Binary& bin, const std::string& name,
+                EngineConfig engine = {}, bool apply_alias = true) {
+  CfgBuilder builder(bin);
+  auto program = builder.BuildProgram();
+  EXPECT_TRUE(program.ok());
+  Hash128 fp = EngineFingerprint(bin, engine, apply_alias);
+  const Function* fn = program->FindFunction(name);
+  EXPECT_NE(fn, nullptr);
+  return FunctionKey(*fn, fp);
+}
+
+TEST(Fingerprint, StableAcrossIndependentBuildsOfTheSameProgram) {
+  ProgramSpec spec;
+  spec.name = "stable";
+  spec.seed = 11;
+  spec.filler_functions = 10;
+  auto first = SynthesizeBinary(spec);
+  auto second = SynthesizeBinary(spec);
+  ASSERT_TRUE(first.ok() && second.ok());
+  CfgBuilder b1(first->binary), b2(second->binary);
+  auto p1 = b1.BuildProgram();
+  auto p2 = b2.BuildProgram();
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  Hash128 fp1 = EngineFingerprint(first->binary, {}, true);
+  Hash128 fp2 = EngineFingerprint(second->binary, {}, true);
+  EXPECT_EQ(fp1, fp2);
+  ASSERT_EQ(p1->functions.size(), p2->functions.size());
+  for (const auto& [name, fn] : p1->functions) {
+    const Function* twin = p2->FindFunction(name);
+    ASSERT_NE(twin, nullptr) << name;
+    EXPECT_EQ(FunctionKey(fn, fp1), FunctionKey(*twin, fp2)) << name;
+  }
+}
+
+TEST(Fingerprint, GoldenKeyPinsCrossProcessStability) {
+  // The key of this fixed function must never depend on process state
+  // (pointers, ASLR, iteration order). The constant below was produced
+  // by this same code; if it drifts without an intentional key-schema
+  // change, cache keys are unstable across runs and the disk tier is
+  // silently useless.
+  FnBuilder b("golden");
+  b.MovI(0, 7);
+  b.AddI(1, 0, 35);
+  b.StrW(1, 13, 8);
+  b.Ret();
+  BinaryWriter writer(Arch::kDtArm, "gold");
+  writer.AddFunction(std::move(b).Finish().value());
+  Binary bin = writer.Build().value();
+  Hash128 key = KeyOfFn(bin, "golden");
+  EXPECT_EQ(key.ToHex(), "c0973aefe3f72d47d3d028894c4b7c14");
+}
+
+TEST(Fingerprint, AnySingleInstructionMutationChangesTheKey) {
+  // Straight-line opcode pool: every field RandomInsnForOp fills is
+  // semantically live (no cmp — its rd is ignored by the lifter).
+  const Op kPool[] = {
+      Op::kMovR, Op::kMovI, Op::kMovHi, Op::kAddR, Op::kAddI, Op::kSubR,
+      Op::kSubI, Op::kMulR, Op::kAndR, Op::kAndI, Op::kOrrR, Op::kOrrI,
+      Op::kXorR, Op::kXorI, Op::kLslI, Op::kLsrI, Op::kLdrW, Op::kStrW,
+      Op::kLdrB, Op::kStrB, Op::kLdrWR, Op::kStrWR, Op::kLdrBR,
+      Op::kStrBR};
+  Rng rng(0xCAFE);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<Insn> insns;
+    int length = static_cast<int>(rng.Range(2, 16));
+    for (int i = 0; i < length; ++i) {
+      Insn insn = RandomInsnForOp(kPool[rng.Below(std::size(kPool))], rng);
+      if (insn.rd == kRegPc) insn.rd = 4;
+      insns.push_back(insn);
+    }
+    Arch arch = rng.Chance(0.5) ? Arch::kDtArm : Arch::kDtMips;
+    Hash128 base = KeyOfFn(BuildFromInsns(insns, arch), "f");
+
+    // Minimal semantic mutation of one random instruction.
+    size_t victim = rng.Below(insns.size());
+    std::vector<Insn> mutated = insns;
+    Insn& m = mutated[victim];
+    switch (FormatOf(m.op)) {
+      case OpFormat::kI:
+        m.imm += (m.op == Op::kMovHi ? (m.imm == 0xFFFF ? -1 : 1)
+                                     : (m.imm == 32767 ? -1 : 1));
+        break;
+      case OpFormat::kR:
+        m.rd = static_cast<uint8_t>((m.rd + 1) % 13);
+        break;
+      default:
+        m = RandomInsnForOp(Op::kMovI, rng);
+        m.rd = 4;
+        break;
+    }
+    Hash128 changed = KeyOfFn(BuildFromInsns(mutated, arch), "f");
+    EXPECT_NE(base, changed) << "trial " << trial << " victim " << victim;
+  }
+}
+
+TEST(Fingerprint, EveryAnalysisConfigKnobChangesTheKey) {
+  Rng rng(1);
+  Binary bin =
+      BuildFromInsns({RandomInsnForOp(Op::kNop, rng)}, Arch::kDtArm);
+  Hash128 base = KeyOfFn(bin, "f");
+
+  EngineConfig fewer_paths;
+  fewer_paths.max_paths = 7;
+  EXPECT_NE(base, KeyOfFn(bin, "f", fewer_paths));
+
+  EngineConfig fewer_visits;
+  fewer_visits.max_block_visits = 99;
+  EXPECT_NE(base, KeyOfFn(bin, "f", fewer_visits));
+
+  EngineConfig shallow;
+  shallow.max_expr_depth = 5;
+  EXPECT_NE(base, KeyOfFn(bin, "f", shallow));
+
+  EngineConfig untyped;
+  untyped.record_types = false;
+  EXPECT_NE(base, KeyOfFn(bin, "f", untyped));
+
+  EXPECT_NE(base, KeyOfFn(bin, "f", {}, /*apply_alias=*/false));
+}
+
+TEST(Fingerprint, DataSectionBytesAreInTheKey) {
+  // The engine concretizes loads from constant addresses out of
+  // .rodata/.data, so two binaries with identical code but different
+  // data must not share summaries.
+  auto build = [](uint8_t byte) {
+    FnBuilder b("f");
+    b.MovI(0, 1);
+    b.Ret();
+    BinaryWriter writer(Arch::kDtArm, "t");
+    writer.AddFunction(std::move(b).Finish().value());
+    writer.AddRodata({byte, 2, 3, 4});
+    return writer.Build().value();
+  };
+  EXPECT_NE(KeyOfFn(build(1), "f"), KeyOfFn(build(9), "f"));
+}
+
+TEST(Fingerprint, Hash128HexIsCanonical) {
+  Hash128 h{0x0123456789ABCDEFULL, 0xFEDCBA9876543210ULL};
+  EXPECT_EQ(h.ToHex(), "0123456789abcdeffedcba9876543210");
+  EXPECT_EQ(Hash128{}.ToHex(), "00000000000000000000000000000000");
+}
+
+}  // namespace
+}  // namespace dtaint

@@ -17,36 +17,14 @@
 #include "src/isa/decode.h"
 #include "src/lifter/lifter.h"
 #include "src/util/rng.h"
+#include "tests/testing/random_insn.h"
 
 namespace dtaint {
 namespace {
 
-// ---------- encoder/decoder round trip --------------------------------------
+using testing_util::RandomInsnForOp;
 
-Insn RandomInsnForOp(Op op, Rng& rng) {
-  Insn insn;
-  insn.op = op;
-  switch (FormatOf(op)) {
-    case OpFormat::kR:
-      insn.rd = static_cast<uint8_t>(rng.Below(16));
-      insn.rn = static_cast<uint8_t>(rng.Below(16));
-      insn.rm = static_cast<uint8_t>(rng.Below(16));
-      break;
-    case OpFormat::kI:
-      insn.rd = static_cast<uint8_t>(rng.Below(16));
-      insn.rn = static_cast<uint8_t>(rng.Below(16));
-      insn.imm = op == Op::kMovHi
-                     ? static_cast<int32_t>(rng.Below(0x10000))
-                     : static_cast<int32_t>(rng.Range(-32768, 32767));
-      break;
-    case OpFormat::kB:
-      insn.imm = static_cast<int32_t>(rng.Range(-(1 << 23), (1 << 23) - 1));
-      break;
-    case OpFormat::kNone:
-      break;
-  }
-  return insn;
-}
+// ---------- encoder/decoder round trip --------------------------------------
 
 class EncodeRoundTrip : public ::testing::TestWithParam<Op> {};
 
