@@ -7,11 +7,11 @@
 // calling *contexts*. This bench sweeps synthesized binaries from 100
 // to 1600 functions and prints both curves, plus the effect of the
 // parallel intraprocedural phase.
-#include <chrono>
 #include <cstdio>
 
 #include "src/baseline/worklist_ddg.h"
 #include "src/core/dtaint.h"
+#include "src/obs/stopwatch.h"
 #include "src/report/table.h"
 #include "src/synth/firmware_synth.h"
 #include "src/util/strings.h"
@@ -59,12 +59,9 @@ int main() {
     Program program = std::move(*builder.BuildProgram());
     BaselineConfig config;
     config.max_contexts = 100000;
-    auto t0 = std::chrono::steady_clock::now();
+    obs::Stopwatch baseline_watch;
     BaselineStats baseline = RunWorklistDdg(program, {"main"}, config);
-    double baseline_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      t0)
-            .count();
+    double baseline_seconds = baseline_watch.Seconds();
 
     table.AddRow(
         {std::to_string(report->analyzed_functions),

@@ -11,12 +11,12 @@
 // dependence edges for every register/memory variable. The expected
 // *shape*: baseline SSA ~2x DTaint's, baseline DDG orders of magnitude
 // slower.
-#include <chrono>
 #include <cstdio>
 
 #include "src/baseline/worklist_ddg.h"
 #include "src/binary/loader.h"
 #include "src/core/dtaint.h"
+#include "src/obs/stopwatch.h"
 #include "src/report/table.h"
 #include "src/synth/firmware_synth.h"
 #include "src/synth/paper_images.h"
@@ -25,12 +25,6 @@
 using namespace dtaint;
 
 namespace {
-
-double Now() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 /// OpenSSL-shaped program: the Heartbleed plant (paper Figs. 2-3: a
 /// length read out of the record buffer in ssl3_read_n flows, through
@@ -109,7 +103,7 @@ int main() {
     // budget (it tracks every variable and does not prune with the
     // loop-once heuristic as aggressively); modeled here as the same
     // engine with a doubled path budget, run once per function.
-    double ssa_start = Now();
+    obs::Stopwatch ssa_watch;
     CfgBuilder builder(put.binary);
     Program program = std::move(*builder.BuildProgram());
     EngineConfig heavy;
@@ -119,7 +113,7 @@ int main() {
     for (const auto& [_, fn] : program.functions) {
       (void)heavy_engine.Analyze(fn);
     }
-    double baseline_ssa = Now() - ssa_start;
+    double baseline_ssa = ssa_watch.Seconds();
 
     // ---- baseline DDG -----------------------------------------------------
     // The worklist interprocedural pass: per (function, callsite-chain)
@@ -130,15 +124,14 @@ int main() {
     BaselineConfig config;
     config.context_depth = 3;
     config.max_contexts = 50000;
-    double ddg_start = Now();
+    obs::Stopwatch ddg_watch;
     BaselineStats ddg = RunWorklistDdg(program, {"main"}, config);
     SymEngine engine(put.binary);
     for (const std::string& fn_name : ddg.context_functions) {
       const Function* fn = program.FindFunction(fn_name);
       if (fn) (void)engine.Analyze(*fn);
     }
-    double baseline_ddg = Now() - ddg_start;
-    ddg.seconds = baseline_ddg;
+    ddg.seconds = ddg_watch.Seconds();
 
     double speedup =
         report->ddg_seconds > 0 ? ddg.seconds / report->ddg_seconds : 0;

@@ -10,8 +10,13 @@
 // With `--cache-dir DIR`, one persistent function-summary cache is
 // shared across the whole fleet: identical functions in different
 // images (and the whole fleet on a re-run) are analyzed once.
+//
+// Observability: `--log-level LEVEL` sets the stderr log threshold,
+// `--trace-out FILE` records a fleet-wide Chrome trace (one "binary"
+// span per image), `--metrics-out FILE` dumps the metrics registry.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <optional>
 
 #include "src/binary/loader.h"
@@ -19,6 +24,9 @@
 #include "src/core/dtaint.h"
 #include "src/firmware/extractor.h"
 #include "src/firmware/packer.h"
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/report/scoring.h"
 #include "src/report/table.h"
 #include "src/synth/firmware_synth.h"
@@ -109,13 +117,27 @@ std::vector<CorpusItem> BuildCorpus() {
 
 int main(int argc, char** argv) {
   std::optional<SummaryCache> cache;
+  const char* trace_out = nullptr;
+  const char* metrics_out = nullptr;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--cache-dir") == 0) {
       CacheConfig cache_config;
       cache_config.disk_dir = argv[i + 1];
       cache.emplace(cache_config);
+    } else if (std::strcmp(argv[i], "--log-level") == 0) {
+      obs::LogLevel level;
+      if (!obs::ParseLogLevel(argv[i + 1], &level)) {
+        std::fprintf(stderr, "bad --log-level: %s\n", argv[i + 1]);
+        return 2;
+      }
+      obs::SetLogLevel(level);
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      trace_out = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      metrics_out = argv[i + 1];
     }
   }
+  if (trace_out) obs::Tracer::Global().Start();
 
   std::vector<CorpusItem> corpus = BuildCorpus();
   std::printf("fleet scan: %zu firmware images%s\n\n", corpus.size(),
@@ -141,12 +163,20 @@ int main(int argc, char** argv) {
     const FirmwareFile* file =
         extracted->image.FindFile(item.spec.binary_path);
     auto binary = BinaryLoader::Load(file->bytes);
-    if (!binary.ok()) continue;
+    if (!binary.ok()) {
+      DTAINT_LOG(obs::LogLevel::kWarn, "corpus", "%s: load failed: %s",
+                 label.c_str(), binary.status().ToString().c_str());
+      continue;
+    }
     DTaintConfig config;
     if (cache) config.interproc.cache = &*cache;
     DTaint detector(config);
     auto report = detector.Analyze(*binary);
-    if (!report.ok()) continue;
+    if (!report.ok()) {
+      DTAINT_LOG(obs::LogLevel::kWarn, "corpus", "%s: analysis failed: %s",
+                 label.c_str(), report.status().ToString().c_str());
+      continue;
+    }
     DetectionScore score =
         ScoreFindings(report->findings, item.ground_truth);
     fleet_tp += score.true_positives;
@@ -166,5 +196,24 @@ int main(int argc, char** argv) {
               "extraction (vendor encryption), as in the paper's corpus "
               "study\n",
               fleet_tp, fleet_fn, fleet_fp, unextractable);
-  return (fleet_fn == 0 && fleet_fp == 0) ? 0 : 1;
+
+  int rc = (fleet_fn == 0 && fleet_fp == 0) ? 0 : 1;
+  if (trace_out) {
+    obs::Tracer::Global().Stop();
+    if (!obs::Tracer::Global().WriteChromeJson(trace_out)) {
+      DTAINT_LOG(obs::LogLevel::kError, "corpus", "cannot write trace to %s",
+                 trace_out);
+      if (rc == 0) rc = 1;
+    }
+  }
+  if (metrics_out) {
+    std::ofstream out(metrics_out, std::ios::trunc);
+    out << obs::MetricsRegistry::Global().ToJson() << '\n';
+    if (!out.good()) {
+      DTAINT_LOG(obs::LogLevel::kError, "corpus",
+                 "cannot write metrics to %s", metrics_out);
+      if (rc == 0) rc = 1;
+    }
+  }
+  return rc;
 }

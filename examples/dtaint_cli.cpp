@@ -9,6 +9,12 @@
 //   dtaint_cli scan <image.dtfw> [--json] [--no-alias]
 //              [--no-structsim] [--threads N] [--cache-dir DIR]
 //
+// Observability flags (accepted by every command):
+//   --log-level error|warn|info|debug   stderr log threshold (warn)
+//   --trace-out FILE    Chrome trace-event JSON of the pipeline's spans
+//                       (load in chrome://tracing or Perfetto)
+//   --metrics-out FILE  metrics-registry snapshot as JSON
+//
 // --cache-dir enables the persistent function-summary cache: summaries
 // are stored content-addressed under DIR and re-used by later scans of
 // unchanged functions (identical findings, much faster re-scan).
@@ -25,6 +31,9 @@
 #include "src/firmware/extractor.h"
 #include "src/firmware/packer.h"
 #include "src/ir/printer.h"
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/report/json.h"
 #include "src/synth/firmware_synth.h"
 #include "src/util/strings.h"
@@ -62,7 +71,7 @@ bool HasFlag(int argc, char** argv, const char* flag) {
 
 int CmdSynth(int argc, char** argv) {
   if (argc < 1) {
-    std::fprintf(stderr, "synth: missing output path\n");
+    DTAINT_LOG(obs::LogLevel::kError, "cli", "synth: missing output path");
     return 2;
   }
   FirmwareSpec spec;
@@ -119,13 +128,13 @@ int CmdSynth(int argc, char** argv) {
 
   auto fw = SynthesizeFirmware(spec);
   if (!fw.ok()) {
-    std::fprintf(stderr, "synth failed: %s\n",
-                 fw.status().ToString().c_str());
+    DTAINT_LOG(obs::LogLevel::kError, "cli", "synth failed: %s",
+               fw.status().ToString().c_str());
     return 1;
   }
   std::vector<uint8_t> blob = FirmwarePacker::Pack(fw->image);
   if (!WriteFile(argv[0], blob)) {
-    std::fprintf(stderr, "cannot write %s\n", argv[0]);
+    DTAINT_LOG(obs::LogLevel::kError, "cli", "cannot write %s", argv[0]);
     return 1;
   }
   std::printf("wrote %s: %zu bytes, %d vulnerable + %d sanitized "
@@ -168,13 +177,13 @@ Result<Binary> LoadFirstBinary(const std::string& path,
 
 int CmdExtract(int argc, char** argv) {
   if (argc < 1) {
-    std::fprintf(stderr, "extract: missing image path\n");
+    DTAINT_LOG(obs::LogLevel::kError, "cli", "extract: missing image path");
     return 2;
   }
   auto binary = LoadFirstBinary(argv[0], /*print_rootfs=*/true);
   if (!binary.ok()) {
-    std::fprintf(stderr, "extract failed: %s\n",
-                 binary.status().ToString().c_str());
+    DTAINT_LOG(obs::LogLevel::kError, "cli", "extract failed: %s",
+               binary.status().ToString().c_str());
     return 1;
   }
   return 0;
@@ -182,20 +191,20 @@ int CmdExtract(int argc, char** argv) {
 
 int CmdInspect(int argc, char** argv) {
   if (argc < 1) {
-    std::fprintf(stderr, "inspect: missing image path\n");
+    DTAINT_LOG(obs::LogLevel::kError, "cli", "inspect: missing image path");
     return 2;
   }
   auto binary = LoadFirstBinary(argv[0]);
   if (!binary.ok()) {
-    std::fprintf(stderr, "inspect failed: %s\n",
-                 binary.status().ToString().c_str());
+    DTAINT_LOG(obs::LogLevel::kError, "cli", "inspect failed: %s",
+               binary.status().ToString().c_str());
     return 1;
   }
   CfgBuilder builder(*binary);
   auto program = builder.BuildProgram();
   if (!program.ok()) {
-    std::fprintf(stderr, "cfg failed: %s\n",
-                 program.status().ToString().c_str());
+    DTAINT_LOG(obs::LogLevel::kError, "cli", "cfg failed: %s",
+               program.status().ToString().c_str());
     return 1;
   }
   std::printf("%s (%s): %zu functions, %zu blocks, %zu call edges, "
@@ -207,7 +216,8 @@ int CmdInspect(int argc, char** argv) {
   if (argc >= 2) {
     const Function* fn = program->FindFunction(argv[1]);
     if (!fn) {
-      std::fprintf(stderr, "no such function: %s\n", argv[1]);
+      DTAINT_LOG(obs::LogLevel::kError, "cli", "no such function: %s",
+                 argv[1]);
       return 1;
     }
     std::printf("\n%s @ %s, %zu blocks:\n\n", fn->name.c_str(),
@@ -237,13 +247,13 @@ int CmdInspect(int argc, char** argv) {
 
 int CmdScan(int argc, char** argv) {
   if (argc < 1) {
-    std::fprintf(stderr, "scan: missing image path\n");
+    DTAINT_LOG(obs::LogLevel::kError, "cli", "scan: missing image path");
     return 2;
   }
   auto binary = LoadFirstBinary(argv[0]);
   if (!binary.ok()) {
-    std::fprintf(stderr, "scan failed: %s\n",
-                 binary.status().ToString().c_str());
+    DTAINT_LOG(obs::LogLevel::kError, "cli", "scan failed: %s",
+               binary.status().ToString().c_str());
     return 1;
   }
   DTaintConfig config;
@@ -262,8 +272,8 @@ int CmdScan(int argc, char** argv) {
   DTaint detector(config);
   auto report = detector.Analyze(*binary);
   if (!report.ok()) {
-    std::fprintf(stderr, "analysis failed: %s\n",
-                 report.status().ToString().c_str());
+    DTAINT_LOG(obs::LogLevel::kError, "cli", "analysis failed: %s",
+               report.status().ToString().c_str());
     return 1;
   }
   if (HasFlag(argc, argv, "--json")) {
@@ -285,14 +295,25 @@ int CmdScan(int argc, char** argv) {
   }
   if (cache) {
     CacheStats cs = cache->stats();
-    // stderr so `--json` stdout stays machine-parseable.
-    std::fprintf(stderr,
-                 "summary cache: %zu hit(s), %zu miss(es), %zu from disk, "
-                 "%zu corrupt, %zu stored\n",
-                 cs.hits, cs.misses, cs.disk_hits, cs.corrupt_entries,
-                 cs.stores);
+    // Logged (not printed) so `--json` stdout stays machine-parseable.
+    DTAINT_LOG(obs::LogLevel::kInfo, "cli",
+               "summary cache: %zu hit(s), %zu miss(es), %zu from disk, "
+               "%zu corrupt, %zu stored",
+               cs.hits, cs.misses, cs.disk_hits, cs.corrupt_entries,
+               cs.stores);
   }
   return report->findings.empty() ? 0 : 3;  // CI-friendly exit code
+}
+
+int Dispatch(int argc, char** argv) {
+  std::string cmd = argv[1];
+  if (cmd == "synth") return CmdSynth(argc - 2, argv + 2);
+  if (cmd == "extract") return CmdExtract(argc - 2, argv + 2);
+  if (cmd == "inspect") return CmdInspect(argc - 2, argv + 2);
+  if (cmd == "scan") return CmdScan(argc - 2, argv + 2);
+  DTAINT_LOG(obs::LogLevel::kError, "cli", "unknown command: %s",
+             cmd.c_str());
+  return 2;
 }
 
 }  // namespace
@@ -300,14 +321,42 @@ int CmdScan(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: dtaint_cli <synth|extract|inspect|scan> ...\n");
+                 "usage: dtaint_cli <synth|extract|inspect|scan> ...\n"
+                 "       [--log-level error|warn|info|debug]\n"
+                 "       [--trace-out FILE] [--metrics-out FILE]\n");
     return 2;
   }
-  std::string cmd = argv[1];
-  if (cmd == "synth") return CmdSynth(argc - 2, argv + 2);
-  if (cmd == "extract") return CmdExtract(argc - 2, argv + 2);
-  if (cmd == "inspect") return CmdInspect(argc - 2, argv + 2);
-  if (cmd == "scan") return CmdScan(argc - 2, argv + 2);
-  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
-  return 2;
+  if (const char* level_name = FlagValue(argc, argv, "--log-level")) {
+    obs::LogLevel level;
+    if (!obs::ParseLogLevel(level_name, &level)) {
+      std::fprintf(stderr, "bad --log-level: %s\n", level_name);
+      return 2;
+    }
+    obs::SetLogLevel(level);
+  }
+  const char* trace_out = FlagValue(argc, argv, "--trace-out");
+  const char* metrics_out = FlagValue(argc, argv, "--metrics-out");
+  if (trace_out) obs::Tracer::Global().Start();
+
+  int rc = Dispatch(argc, argv);
+
+  if (trace_out) {
+    obs::Tracer::Global().Stop();
+    if (!obs::Tracer::Global().WriteChromeJson(trace_out)) {
+      DTAINT_LOG(obs::LogLevel::kError, "cli", "cannot write trace to %s",
+                 trace_out);
+      if (rc == 0) rc = 1;
+    }
+  }
+  if (metrics_out) {
+    std::string json = obs::MetricsRegistry::Global().ToJson();
+    std::ofstream out(metrics_out, std::ios::trunc);
+    out << json << '\n';
+    if (!out.good()) {
+      DTAINT_LOG(obs::LogLevel::kError, "cli", "cannot write metrics to %s",
+                 metrics_out);
+      if (rc == 0) rc = 1;
+    }
+  }
+  return rc;
 }

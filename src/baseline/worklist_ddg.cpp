@@ -1,15 +1,13 @@
 #include "src/baseline/worklist_ddg.h"
 
-#include <chrono>
 #include <deque>
 
+#include "src/obs/stopwatch.h"
 #include "src/util/hash.h"
 
 namespace dtaint {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
 
 /// Reaching-definition state: for every variable (register or abstract
 /// memory slot) the set of sites that may have defined it.
@@ -205,7 +203,7 @@ BaselineStats RunWorklistDdg(const Program& program,
                              const std::vector<std::string>& entries,
                              const BaselineConfig& config) {
   BaselineStats stats;
-  auto start = Clock::now();
+  obs::Stopwatch watch;
   BaselineRun run(program, config, stats);
 
   std::vector<std::string> roots = entries;
@@ -230,8 +228,7 @@ BaselineStats RunWorklistDdg(const Program& program,
   for (const std::string& root : roots) {
     run.AnalyzeFunction(root, {});
   }
-  stats.seconds =
-      std::chrono::duration<double>(Clock::now() - start).count();
+  stats.seconds = watch.Seconds();
   return stats;
 }
 

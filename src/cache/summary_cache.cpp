@@ -146,7 +146,16 @@ Hash128 FunctionKey(const Function& fn, const Hash128& engine_fingerprint) {
 }
 
 SummaryCache::SummaryCache(CacheConfig config)
-    : config_(std::move(config)) {}
+    : config_(std::move(config)),
+      m_hits_(obs::MetricsRegistry::Global().counter("cache.hits")),
+      m_misses_(obs::MetricsRegistry::Global().counter("cache.misses")),
+      m_evictions_(obs::MetricsRegistry::Global().counter("cache.evictions")),
+      m_stores_(obs::MetricsRegistry::Global().counter("cache.stores")),
+      m_disk_hits_(obs::MetricsRegistry::Global().counter("cache.disk_hits")),
+      m_corrupt_(
+          obs::MetricsRegistry::Global().counter("cache.corrupt_entries")),
+      m_memory_bytes_(
+          obs::MetricsRegistry::Global().gauge("cache.memory_bytes")) {}
 
 std::string SummaryCache::PathFor(const Hash128& key) const {
   return config_.disk_dir + "/" + key.ToHex() + ".dtsc";
@@ -161,14 +170,17 @@ std::optional<FunctionSummary> SummaryCache::Lookup(const Hash128& key) {
     auto decoded = DecodeSummary(it->second->blob);
     if (decoded.ok()) {
       ++stats_.hits;
+      m_hits_.Add();
       return std::move(*decoded);
     }
     // Poisoned in-memory entry (should be impossible, but never trust
     // a cache): drop it and fall through to disk/miss.
     ++stats_.corrupt_entries;
+    m_corrupt_.Add();
     stats_.memory_bytes -= it->second->blob.size();
     lru_.erase(it->second);
     index_.erase(it);
+    m_memory_bytes_.Set(static_cast<double>(stats_.memory_bytes));
   }
 
   if (!config_.disk_dir.empty()) {
@@ -178,16 +190,20 @@ std::optional<FunctionSummary> SummaryCache::Lookup(const Hash128& key) {
       if (decoded.ok()) {
         InsertMemoryLocked(key, std::move(blob));
         ++stats_.hits;
+        m_hits_.Add();
         ++stats_.disk_hits;
+        m_disk_hits_.Add();
         return std::move(*decoded);
       }
       // Bad entry on disk: count it, treat as miss; the recompute's
       // Store will overwrite the damaged file.
       ++stats_.corrupt_entries;
+      m_corrupt_.Add();
     }
   }
 
   ++stats_.misses;
+  m_misses_.Add();
   return std::nullopt;
 }
 
@@ -196,6 +212,7 @@ void SummaryCache::Store(const Hash128& key, const FunctionSummary& summary) {
 
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.stores;
+  m_stores_.Add();
   if (!config_.disk_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(config_.disk_dir, ec);
@@ -226,6 +243,7 @@ void SummaryCache::InsertMemoryLocked(const Hash128& key,
   index_[key] = lru_.begin();
   EvictLocked();
   stats_.memory_entries = index_.size();
+  m_memory_bytes_.Set(static_cast<double>(stats_.memory_bytes));
 }
 
 void SummaryCache::EvictLocked() {
@@ -236,6 +254,7 @@ void SummaryCache::EvictLocked() {
     index_.erase(lru_.back().key);
     lru_.pop_back();
     ++stats_.evictions;
+    m_evictions_.Add();
   }
 }
 

@@ -36,6 +36,7 @@
 #include <string>
 
 #include "src/cfg/function.h"
+#include "src/obs/metrics.h"
 #include "src/symexec/defpairs.h"
 #include "src/symexec/engine.h"
 #include "src/util/hash.h"
@@ -101,6 +102,18 @@ class SummaryCache {
   std::list<Entry> lru_;  // front = most recently used
   std::map<Hash128, std::list<Entry>::iterator> index_;
   CacheStats stats_;
+
+  // Registry mirrors of stats_ ("cache.*" in the global metrics
+  // registry): every increment above lands in both, so InterprocStats
+  // can be populated from the registry without asking the cache.
+  // Handles resolved once here; stable for the registry's lifetime.
+  obs::Counter& m_hits_;
+  obs::Counter& m_misses_;
+  obs::Counter& m_evictions_;
+  obs::Counter& m_stores_;
+  obs::Counter& m_disk_hits_;
+  obs::Counter& m_corrupt_;
+  obs::Gauge& m_memory_bytes_;
 };
 
 /// Fingerprint of everything outside the function body that can change

@@ -1,5 +1,7 @@
 #include "src/core/alias.h"
 
+#include "src/obs/log.h"
+
 namespace dtaint {
 
 bool IsPointerValue(const SymRef& value, const TypeMap& types) {
@@ -75,6 +77,11 @@ AliasResult AliasReplace(FunctionSummary& summary) {
   result.pairs_added = additions.size();
   for (DefPair& dp : additions) {
     summary.def_pairs.push_back(std::move(dp));
+  }
+  if (result.pairs_added > 0) {
+    DTAINT_LOG(obs::LogLevel::kDebug, "alias",
+               "%zu alias-derived def pair(s) from %zu fact(s)",
+               result.pairs_added, result.facts.size());
   }
   return result;
 }

@@ -2,19 +2,12 @@
 
 #include <set>
 
+#include "src/obs/log.h"
+#include "src/obs/stopwatch.h"
+#include "src/obs/trace.h"
 #include "src/util/strings.h"
 
 namespace dtaint {
-
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double SecondsSince(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-}  // namespace
 
 std::string Finding::Summary() const {
   std::string out(VulnClassName(path.vuln_class));
@@ -30,20 +23,35 @@ Result<AnalysisReport> DTaint::Analyze(const Binary& binary) const {
 
 Result<AnalysisReport> DTaint::AnalyzeFunctions(
     const Binary& binary, const std::vector<std::string>& only) const {
-  auto t_total = Clock::now();
+  obs::Tracer& tracer = obs::Tracer::Global();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Stopwatch t_total;
   AnalysisReport report;
   report.binary_name = binary.soname;
   report.arch = binary.arch;
+  obs::Span binary_span(tracer, "binary", report.binary_name);
+  obs::MetricsSnapshot metrics_before = registry.Snapshot();
+  DTAINT_LOG(obs::LogLevel::kInfo, "dtaint", "analyzing %s",
+             report.binary_name.c_str());
 
   // 1. Lift and structure the whole binary.
-  auto t_ssa = Clock::now();
+  obs::Stopwatch t_ssa;
+  obs::Span lift_span(tracer, "phase", "lift");
   CfgBuilder builder(binary);
   auto program_or = builder.BuildProgram();
-  if (!program_or.ok()) return program_or.status();
+  if (!program_or.ok()) {
+    DTAINT_LOG(obs::LogLevel::kError, "dtaint", "lift failed for %s: %s",
+               report.binary_name.c_str(),
+               program_or.status().ToString().c_str());
+    return program_or.status();
+  }
   Program program = std::move(*program_or);
+  lift_span.Finish();
 
   report.functions = program.functions.size();
   report.blocks = program.TotalBlocks();
+  registry.counter("lift.functions").Add(report.functions);
+  registry.counter("lift.blocks").Add(report.blocks);
 
   // Optional focus filter: keep the named functions plus everything
   // transitively reachable from them.
@@ -90,38 +98,74 @@ Result<AnalysisReport> DTaint::AnalyzeFunctions(
   CallGraph graph = CallGraph::Build(program);
   ProgramAnalysis analysis =
       RunBottomUp(program, graph, engine, interproc_config);
-  report.ssa_seconds = SecondsSince(t_ssa);
+  report.ssa_seconds = t_ssa.Seconds();
+  // Stats that must combine across the two bottom-up passes (the
+  // re-link after indirect-call resolution re-runs RunBottomUp, whose
+  // stats are per-pass).
   double summary_seconds = analysis.stats.summary_seconds;
+  size_t cache_hits = analysis.stats.cache_hits;
+  size_t cache_misses = analysis.stats.cache_misses;
+  std::vector<HotFunction> hot_functions = analysis.stats.hot_functions;
 
   // 3. Indirect-call resolution via structure-layout similarity, then
   // re-link so flows cross the resolved edges.
-  auto t_ddg = Clock::now();
+  obs::Stopwatch t_ddg;
   if (config_.enable_structsim) {
+    obs::Span structsim_span(tracer, "phase", "structsim");
     auto resolutions = ResolveIndirectCalls(program, analysis.summaries);
     report.indirect_calls_resolved = resolutions.size();
+    registry.counter("structsim.indirect_calls_resolved")
+        .Add(report.indirect_calls_resolved);
+    structsim_span.Finish();
     if (!resolutions.empty()) {
       CallGraph graph2 = CallGraph::Build(program);
       analysis = RunBottomUp(program, graph2, engine, interproc_config);
       summary_seconds += analysis.stats.summary_seconds;
+      cache_hits += analysis.stats.cache_hits;
+      cache_misses += analysis.stats.cache_misses;
+      hot_functions =
+          MergeHotFunctions(std::move(hot_functions),
+                            analysis.stats.hot_functions,
+                            interproc_config.hot_function_count);
     }
   }
   report.interproc_stats = analysis.stats;
-  // Both bottom-up passes produce summaries; report the combined time.
+  // Both bottom-up passes produce summaries; report the combined time
+  // and combined cache traffic.
   report.interproc_stats.summary_seconds = summary_seconds;
+  report.interproc_stats.cache_hits = cache_hits;
+  report.interproc_stats.cache_misses = cache_misses;
+  report.interproc_stats.hot_functions = hot_functions;
+  report.hot_functions = std::move(hot_functions);
   report.call_graph_edges = program.CallEdgeCount();
 
   // 4. Sink-to-source path search + sanitization checks.
   PathFinder finder(program, analysis, config_.pathfinder);
   report.sink_count = finder.SinkCount();
+  obs::Span pathfind_span(tracer, "phase", "pathfind");
   std::vector<TaintPath> paths = finder.FindAll();
+  pathfind_span.Finish();
   report.total_paths = paths.size();
+  report.pathfinder_stats = finder.stats();
+  obs::Span sanitize_span(tracer, "phase", "sanitize");
   std::vector<TaintPath> vulnerable = FilterVulnerable(paths);
+  sanitize_span.Finish();
   report.vulnerable_paths = vulnerable.size();
+  report.pathfinder_stats.sanitized_away =
+      report.total_paths - report.vulnerable_paths;
+  registry.counter("sanitize.paths_sanitized")
+      .Add(report.pathfinder_stats.sanitized_away);
   for (TaintPath& path : vulnerable) {
     report.findings.push_back({std::move(path)});
   }
-  report.ddg_seconds = SecondsSince(t_ddg);
-  report.total_seconds = SecondsSince(t_total);
+  report.ddg_seconds = t_ddg.Seconds();
+  report.total_seconds = t_total.Seconds();
+  report.metrics = registry.Snapshot().DeltaSince(metrics_before);
+  DTAINT_LOG(obs::LogLevel::kInfo, "dtaint",
+             "%s: %zu findings (%zu paths, %zu sanitized) in %.3fs",
+             report.binary_name.c_str(), report.findings.size(),
+             report.total_paths, report.pathfinder_stats.sanitized_away,
+             report.total_seconds);
   return report;
 }
 

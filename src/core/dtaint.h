@@ -8,7 +8,6 @@
 // checks -> vulnerability report.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -20,6 +19,7 @@
 #include "src/core/pathfinder.h"
 #include "src/core/sanitizer.h"
 #include "src/core/structsim.h"
+#include "src/obs/metrics.h"
 #include "src/util/status.h"
 
 namespace dtaint {
@@ -64,6 +64,19 @@ struct AnalysisReport {
   // Internals for inspection.
   InterprocStats interproc_stats;
   size_t indirect_calls_resolved = 0;
+
+  /// Path-search effort for this run (sanitized_away filled in here:
+  /// total_paths - vulnerable_paths). Deterministic, unlike timings.
+  PathFinderStats pathfinder_stats;
+
+  /// Hot-function profile: top functions by summary-analysis wall time,
+  /// merged across both bottom-up passes (most expensive first).
+  std::vector<HotFunction> hot_functions;
+
+  /// Per-run metrics delta (global registry counters as deltas over
+  /// this Analyze call; gauges/histograms as current values). Embedded
+  /// in the JSON report as the "metrics" object.
+  obs::MetricsSnapshot metrics;
 };
 
 class DTaint {

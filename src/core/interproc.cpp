@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
+#include <numeric>
 #include <thread>
 
 #include "src/cache/summary_cache.h"
 #include "src/core/alias.h"
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/stopwatch.h"
+#include "src/obs/trace.h"
 #include "src/util/hash.h"
 
 namespace dtaint {
@@ -81,6 +85,8 @@ ProgramAnalysis RunBottomUp(const Program& program, const CallGraph& graph,
                             const InterprocConfig& config) {
   ProgramAnalysis analysis;
   const std::vector<std::string> order = graph.BottomUpOrder();
+  obs::Tracer& tracer = obs::Tracer::Global();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
 
   // Phase 1: intraprocedural static symbolic analysis — exactly once
   // per function (and, with a summary cache configured, once per
@@ -90,13 +96,20 @@ ProgramAnalysis RunBottomUp(const Program& program, const CallGraph& graph,
   // beyond the work-index counter (and the cache's internal lock) is
   // needed.
   std::vector<FunctionSummary> base(order.size());
+  // Per-function cost accounting for the hot-function profile and the
+  // "summary.function_micros" histogram; slot-per-function, so the
+  // worker pool writes without synchronization.
+  std::vector<double> fn_seconds(order.size(), 0.0);
+  std::vector<uint8_t> fn_cached(order.size(), 0);
   SummaryCache* cache = config.cache;
   Hash128 engine_fp;
-  CacheStats cache_before;
+  uint64_t cache_hits_before = 0;
+  uint64_t cache_misses_before = 0;
   if (cache) {
     engine_fp =
         EngineFingerprint(engine.binary(), engine.config(), config.apply_alias);
-    cache_before = cache->stats();
+    cache_hits_before = registry.counter("cache.hits").Value();
+    cache_misses_before = registry.counter("cache.misses").Value();
   }
 
   // Step 2 (pointer-alias recognition, Algorithm 1) runs here rather
@@ -115,10 +128,14 @@ ProgramAnalysis RunBottomUp(const Program& program, const CallGraph& graph,
   auto analyze_one = [&](size_t i) {
     const Function* fn = program.FindFunction(order[i]);
     if (!fn) return;
+    obs::Span span(tracer, "function", order[i]);
+    obs::Stopwatch watch;
     if (cache) {
       Hash128 key = FunctionKey(*fn, engine_fp);
       if (auto cached = cache->Lookup(key)) {
         base[i] = std::move(*cached);
+        fn_cached[i] = 1;
+        fn_seconds[i] = watch.Seconds();
         return;
       }
       base[i] = produce(*fn);
@@ -126,6 +143,7 @@ ProgramAnalysis RunBottomUp(const Program& program, const CallGraph& graph,
     } else {
       base[i] = produce(*fn);
     }
+    fn_seconds[i] = watch.Seconds();
   };
 
   // Clamp the pool to the number of work items: spawning thousands of
@@ -135,35 +153,64 @@ ProgramAnalysis RunBottomUp(const Program& program, const CallGraph& graph,
   int threads = static_cast<int>(std::min<size_t>(
       static_cast<size_t>(std::max(1, config.num_threads)),
       std::max<size_t>(1, order.size())));
-  auto t_phase1 = std::chrono::steady_clock::now();
-  if (threads == 1) {
-    for (size_t i = 0; i < order.size(); ++i) analyze_one(i);
-  } else {
-    std::atomic<size_t> next{0};
-    auto worker = [&] {
-      for (;;) {
-        size_t i = next.fetch_add(1);
-        if (i >= order.size()) return;
-        analyze_one(i);
-      }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
+  {
+    obs::Span summary_span(tracer, "phase", "summary");
+    obs::Stopwatch phase1;
+    if (threads == 1) {
+      for (size_t i = 0; i < order.size(); ++i) analyze_one(i);
+    } else {
+      std::atomic<size_t> next{0};
+      auto worker = [&] {
+        for (;;) {
+          size_t i = next.fetch_add(1);
+          if (i >= order.size()) return;
+          analyze_one(i);
+        }
+      };
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+      for (std::thread& t : pool) t.join();
+    }
+    analysis.stats.summary_seconds = phase1.Seconds();
   }
-  analysis.stats.summary_seconds = std::chrono::duration<double>(
-      std::chrono::steady_clock::now() - t_phase1).count();
+  {
+    obs::Histogram& fn_micros = registry.histogram("summary.function_micros");
+    for (double s : fn_seconds) {
+      fn_micros.Observe(static_cast<uint64_t>(s * 1e6));
+    }
+  }
+  if (config.hot_function_count > 0) {
+    std::vector<size_t> by_cost(order.size());
+    std::iota(by_cost.begin(), by_cost.end(), size_t{0});
+    size_t keep = std::min(config.hot_function_count, by_cost.size());
+    std::partial_sort(by_cost.begin(), by_cost.begin() + keep, by_cost.end(),
+                      [&](size_t a, size_t b) {
+                        return fn_seconds[a] > fn_seconds[b];
+                      });
+    analysis.stats.hot_functions.reserve(keep);
+    for (size_t k = 0; k < keep; ++k) {
+      size_t i = by_cost[k];
+      analysis.stats.hot_functions.push_back(
+          {order[i], fn_seconds[i], fn_cached[i] != 0});
+    }
+  }
   if (cache) {
-    CacheStats now = cache->stats();
-    analysis.stats.cache_hits = now.hits - cache_before.hits;
-    analysis.stats.cache_misses = now.misses - cache_before.misses;
-    analysis.stats.cache_evictions = now.evictions;
-    analysis.stats.cache_memory_bytes = now.memory_bytes;
+    // Compatibility view: the cache mirrors its counters into the
+    // global registry as it goes; read the pass's deltas back out
+    // instead of snapshotting CacheStats (proven equal in obs_test).
+    analysis.stats.cache_hits =
+        registry.counter("cache.hits").Value() - cache_hits_before;
+    analysis.stats.cache_misses =
+        registry.counter("cache.misses").Value() - cache_misses_before;
+    analysis.stats.cache_evictions = registry.counter("cache.evictions").Value();
+    analysis.stats.cache_memory_bytes =
+        static_cast<size_t>(registry.gauge("cache.memory_bytes").Value());
   }
 
   // Phase 2: linking, sequential in bottom-up order (each caller needs
   // its callees' already-linked summaries).
+  obs::Span link_span(tracer, "phase", "link");
   for (size_t order_index = 0; order_index < order.size(); ++order_index) {
     const std::string& name = order[order_index];
     const Function* fn = program.FindFunction(name);
@@ -261,7 +308,42 @@ ProgramAnalysis RunBottomUp(const Program& program, const CallGraph& graph,
     ++analysis.stats.functions_processed;
     analysis.summaries.emplace(name, std::move(summary));
   }
+  link_span.Finish();
+
+  registry.counter("summary.functions").Add(analysis.stats.functions_processed);
+  registry.counter("link.defs_propagated").Add(analysis.stats.defs_propagated);
+  registry.counter("link.uses_forwarded").Add(analysis.stats.uses_forwarded);
+  registry.counter("link.rets_replaced").Add(analysis.stats.rets_replaced);
+  registry.counter("alias.pairs_added").Add(analysis.stats.alias_pairs_added);
+  DTAINT_LOG(obs::LogLevel::kDebug, "interproc",
+             "pass done: %zu functions in %.3fs, %zu defs propagated, "
+             "%zu uses forwarded, %zu rets replaced, cache %zu/%zu hit/miss",
+             analysis.stats.functions_processed,
+             analysis.stats.summary_seconds, analysis.stats.defs_propagated,
+             analysis.stats.uses_forwarded, analysis.stats.rets_replaced,
+             analysis.stats.cache_hits, analysis.stats.cache_misses);
   return analysis;
+}
+
+std::vector<HotFunction> MergeHotFunctions(std::vector<HotFunction> a,
+                                           const std::vector<HotFunction>& b,
+                                           size_t limit) {
+  for (const HotFunction& hot : b) {
+    auto it = std::find_if(a.begin(), a.end(), [&](const HotFunction& h) {
+      return h.name == hot.name;
+    });
+    if (it == a.end()) {
+      a.push_back(hot);
+    } else if (hot.seconds > it->seconds) {
+      *it = hot;
+    }
+  }
+  std::sort(a.begin(), a.end(), [](const HotFunction& x, const HotFunction& y) {
+    if (x.seconds != y.seconds) return x.seconds > y.seconds;
+    return x.name < y.name;
+  });
+  if (a.size() > limit) a.resize(limit);
+  return a;
 }
 
 }  // namespace dtaint

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "src/cfg/callgraph.h"
 #include "src/cfg/cfg_builder.h"
@@ -55,6 +56,19 @@ struct InterprocConfig {
   /// by the differential-oracle test suite. The cache is internally
   /// synchronized; sharing one across threads and scans is safe.
   SummaryCache* cache = nullptr;
+  /// Size of the hot-function profile (top functions by summary-
+  /// analysis wall time) kept in InterprocStats. 0 disables profiling.
+  size_t hot_function_count = 10;
+};
+
+/// One entry of the hot-function profile: where summary-production time
+/// went (paper Tables VI/VII ask exactly this question per phase; this
+/// answers it per function, which is what decides where summarization
+/// or caching pays off).
+struct HotFunction {
+  std::string name;
+  double seconds = 0.0;
+  bool cached = false;  // summary served by the cache, not recomputed
 };
 
 struct InterprocStats {
@@ -69,11 +83,21 @@ struct InterprocStats {
   size_t rets_replaced = 0;
   size_t alias_pairs_added = 0;
   /// Summary-cache counters for this pass (zero when no cache is
-  /// configured). Hits + misses = functions looked up.
+  /// configured). Hits + misses = functions looked up. Compatibility
+  /// view: since the obs layer landed these are populated from the
+  /// metrics registry ("cache.*" counters, which the cache itself
+  /// increments), not read off the cache — proven equal to the cache's
+  /// own CacheStats by the obs test suite. hits/misses are deltas for
+  /// this pass; evictions is the registry's lifetime total (identical
+  /// to the legacy semantics when one cache is shared, the supported
+  /// configuration); memory_bytes is the "cache.memory_bytes" gauge.
   size_t cache_hits = 0;
   size_t cache_misses = 0;
   size_t cache_evictions = 0;   // lifetime evictions of the shared cache
   size_t cache_memory_bytes = 0;  // in-memory tier footprint after the pass
+  /// Top functions by summary-production time this pass, most expensive
+  /// first (bounded by InterprocConfig::hot_function_count).
+  std::vector<HotFunction> hot_functions;
 };
 
 /// Whole-program analysis state after the bottom-up pass: per-function
@@ -90,5 +114,12 @@ struct ProgramAnalysis {
 ProgramAnalysis RunBottomUp(const Program& program, const CallGraph& graph,
                             const SymEngine& engine,
                             const InterprocConfig& config = {});
+
+/// Merges two hot-function profiles (e.g. the two bottom-up passes of
+/// one analysis): per function the larger time wins; result sorted
+/// descending and truncated to `limit`.
+std::vector<HotFunction> MergeHotFunctions(std::vector<HotFunction> a,
+                                           const std::vector<HotFunction>& b,
+                                           size_t limit);
 
 }  // namespace dtaint

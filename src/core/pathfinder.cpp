@@ -3,6 +3,8 @@
 #include <set>
 
 #include "src/cfg/loops.h"
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
 #include "src/util/strings.h"
 
 namespace dtaint {
@@ -51,8 +53,10 @@ bool RegionDefCoversUse(const SymRef& def_loc, const SymRef& def_val,
 class Tracer {
  public:
   Tracer(const Program& program, const ProgramAnalysis& analysis,
-         const PathFinderConfig& config, std::vector<TaintPath>& out)
-      : program_(program), analysis_(analysis), config_(config), out_(out) {
+         const PathFinderConfig& config, std::vector<TaintPath>& out,
+         PathFinderStats& stats)
+      : program_(program), analysis_(analysis), config_(config), out_(out),
+        stats_(stats) {
     // Reverse call-event index: callee name -> (caller, event).
     for (const auto& [caller, summary] : analysis_.summaries) {
       const Function* fn = program_.FindFunction(caller);
@@ -75,6 +79,7 @@ class Tracer {
   /// Launches a trace for one sink occurrence.
   void TraceSink(const std::string& fn, const TaintPath& seed,
                  const std::vector<SymRef>& start_exprs) {
+    ++stats_.sinks_visited;
     paths_found_for_sink_ = 0;
     for (const SymRef& expr : start_exprs) {
       if (paths_found_for_sink_ >= config_.max_paths_per_sink) break;
@@ -94,14 +99,20 @@ class Tracer {
     if (!emitted_.insert(key).second) return;
     out_.push_back(std::move(path));
     ++paths_found_for_sink_;
+    ++stats_.paths_found;
   }
 
   void Walk(const std::string& fn, const SymRef& expr, TaintPath& path,
             std::set<std::pair<std::string, uint64_t>>& visited,
             int depth) {
-    if (!expr || depth <= 0) return;
+    if (!expr) return;
+    if (depth <= 0) {
+      ++stats_.pruned_by_depth;
+      return;
+    }
     if (paths_found_for_sink_ >= config_.max_paths_per_sink) return;
     if (!visited.insert({fn, expr->hash()}).second) return;
+    ++stats_.paths_explored;
     path.traced_exprs.push_back(expr);
 
     // Found attacker data?
@@ -185,6 +196,7 @@ class Tracer {
   std::map<std::string, std::vector<std::pair<std::string, const CallEvent*>>>
       callers_of_;
   std::set<std::tuple<uint32_t, uint32_t, std::string>> emitted_;
+  PathFinderStats& stats_;
   int paths_found_for_sink_ = 0;
 };
 
@@ -206,7 +218,8 @@ size_t PathFinder::SinkCount() const {
 
 std::vector<TaintPath> PathFinder::FindAll() const {
   std::vector<TaintPath> paths;
-  Tracer tracer(program_, analysis_, config_, paths);
+  stats_ = PathFinderStats{};
+  Tracer tracer(program_, analysis_, config_, paths, stats_);
 
   for (const auto& [fn_name, summary] : analysis_.summaries) {
     // Library-call sinks.
@@ -281,6 +294,16 @@ std::vector<TaintPath> PathFinder::FindAll() const {
       }
     }
   }
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.counter("pathfind.sinks_visited").Add(stats_.sinks_visited);
+  registry.counter("pathfind.paths_explored").Add(stats_.paths_explored);
+  registry.counter("pathfind.pruned_by_depth").Add(stats_.pruned_by_depth);
+  registry.counter("pathfind.paths_found").Add(stats_.paths_found);
+  DTAINT_LOG(obs::LogLevel::kDebug, "pathfind",
+             "%zu sinks visited, %zu steps, %zu depth-pruned, %zu paths",
+             stats_.sinks_visited, stats_.paths_explored,
+             stats_.pruned_by_depth, stats_.paths_found);
   return paths;
 }
 

@@ -63,6 +63,20 @@ struct PathFinderConfig {
   bool detect_loop_copies = true;
 };
 
+/// Search-effort accounting for one FindAll pass. Deterministic for a
+/// given program+config (the traversal is), so safe to serialize into
+/// reports that are diffed byte-for-byte.
+struct PathFinderStats {
+  size_t sinks_visited = 0;    // sink occurrences traced (library + loop)
+  size_t paths_explored = 0;   // backward Walk steps taken
+  size_t pruned_by_depth = 0;  // walks cut short by the max_depth budget
+  size_t paths_found = 0;      // distinct sink-to-source paths emitted
+  /// Found paths the sanitization checker later ruled safe. The
+  /// checker runs after FindAll, so the *driver* (AnalyzeBinary) fills
+  /// this in; it stays 0 when PathFinder is used standalone.
+  size_t sanitized_away = 0;
+};
+
 class PathFinder {
  public:
   PathFinder(const Program& program, const ProgramAnalysis& analysis,
@@ -75,10 +89,14 @@ class PathFinder {
   /// Number of sink callsites scanned (paper Table III "Sinks count").
   size_t SinkCount() const;
 
+  /// Effort counters of the most recent FindAll call.
+  const PathFinderStats& stats() const { return stats_; }
+
  private:
   const Program& program_;
   const ProgramAnalysis& analysis_;
   PathFinderConfig config_;
+  mutable PathFinderStats stats_;
 };
 
 /// Region-sensitive match: does definition location `def_loc` define

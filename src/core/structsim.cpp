@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "src/obs/log.h"
+
 namespace dtaint {
 
 namespace {
@@ -276,6 +278,11 @@ std::vector<IndirectResolution> ResolveIndirectCalls(
         resolutions.push_back(std::move(resolution));
       }
     }
+  }
+  for (const IndirectResolution& r : resolutions) {
+    DTAINT_LOG(obs::LogLevel::kDebug, "structsim",
+               "%s @%#x -> %zu target(s), similarity %.3f", r.caller.c_str(),
+               r.callsite, r.targets.size(), r.similarity);
   }
   return resolutions;
 }

@@ -1,0 +1,123 @@
+#include "src/obs/log.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "src/obs/stopwatch.h"
+
+namespace dtaint::obs {
+
+namespace internal {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+}  // namespace internal
+
+namespace {
+
+std::atomic<LogSink> g_sink{nullptr};
+std::atomic<void*> g_sink_user{nullptr};
+
+/// Seconds since the first log statement of the process — stable within
+/// a run, meaningless across runs, which is all a log timestamp needs.
+double UptimeSeconds() {
+  static const Stopwatch start;
+  return start.Seconds();
+}
+
+void StderrSink(LogLevel level, std::string_view component,
+                std::string_view message, void* /*user*/) {
+  // One buffered line per record so concurrent threads don't interleave
+  // mid-line.
+  std::string line = "ts=";
+  char ts[32];
+  std::snprintf(ts, sizeof(ts), "%.3f", UptimeSeconds());
+  line += ts;
+  line += " level=";
+  line += LogLevelName(level);
+  line += " tid=";
+  line += std::to_string(ThreadId());
+  line += ' ';
+  line.append(component.data(), component.size());
+  line += ": ";
+  line.append(message.data(), message.size());
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kDebug:
+      return "debug";
+  }
+  return "?";
+}
+
+bool ParseLogLevel(std::string_view text, LogLevel* out) {
+  for (LogLevel level : {LogLevel::kError, LogLevel::kWarn, LogLevel::kInfo,
+                         LogLevel::kDebug}) {
+    if (text == LogLevelName(level)) {
+      *out = level;
+      return true;
+    }
+  }
+  return false;
+}
+
+void SetLogLevel(LogLevel level) {
+  internal::g_log_level.store(static_cast<int>(level),
+                              std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(
+      internal::g_log_level.load(std::memory_order_relaxed));
+}
+
+uint32_t ThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t id = next.fetch_add(1);
+  return id;
+}
+
+void SetLogSink(LogSink sink, void* user) {
+  // user first: a racing Log must never pair the new sink with the old
+  // user pointer's lifetime assumptions. (Callers swap sinks only at
+  // quiescent points; this just keeps the benign order.)
+  g_sink_user.store(user, std::memory_order_relaxed);
+  g_sink.store(sink, std::memory_order_relaxed);
+}
+
+void Log(LogLevel level, std::string_view component,
+         std::string_view message) {
+  if (!LogEnabled(level)) return;
+  LogSink sink = g_sink.load(std::memory_order_relaxed);
+  void* user = g_sink_user.load(std::memory_order_relaxed);
+  if (!sink) {
+    StderrSink(level, component, message, nullptr);
+  } else {
+    sink(level, component, message, user);
+  }
+}
+
+void Logf(LogLevel level, const char* component, const char* fmt, ...) {
+  if (!LogEnabled(level)) return;
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n < 0) return;
+  size_t len = std::min(static_cast<size_t>(n), sizeof(buf) - 1);
+  Log(level, component, std::string_view(buf, len));
+}
+
+}  // namespace dtaint::obs

@@ -1,0 +1,151 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "src/util/strings.h"
+
+namespace dtaint::obs {
+
+void Histogram::Observe(uint64_t v) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  buckets_[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::ValueAtQuantile(double q) const {
+  uint64_t total = Count();
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-quantile sample, 1-based, at least 1.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) {
+      uint64_t upper =
+          i == 0 ? 0 : (i >= 64 ? UINT64_MAX : (uint64_t{1} << i) - 1);
+      return std::min(upper, Max());
+    }
+  }
+  return Max();
+}
+
+HistogramStats Histogram::Stats() const {
+  HistogramStats stats;
+  stats.count = Count();
+  stats.sum = Sum();
+  stats.max = Max();
+  stats.p50 = ValueAtQuantile(0.5);
+  stats.p95 = ValueAtQuantile(0.95);
+  return stats;
+}
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(
+    const MetricsSnapshot& before) const {
+  MetricsSnapshot delta = *this;
+  for (auto& [name, value] : delta.counters) {
+    uint64_t prior = before.CounterValue(name);
+    value = value >= prior ? value - prior : 0;
+  }
+  return delta;
+}
+
+std::string MetricsSnapshotToJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out += ',';
+    first = false;
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6f", value);
+    out += '"' + JsonEscape(name) + "\":" + buf;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":{\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + std::to_string(h.sum) +
+           ",\"max\":" + std::to_string(h.max) +
+           ",\"p50\":" + std::to_string(h.p50) +
+           ",\"p95\":" + std::to_string(h.p95) + '}';
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter(&enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::unique_ptr<Gauge>(new Gauge(&enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(new Histogram(&enabled_)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, c] : counters_) snapshot.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) snapshot.gauges[name] = g->Value();
+  for (const auto& [name, h] : histograms_) {
+    snapshot.histograms[name] = h->Stats();
+  }
+  return snapshot;
+}
+
+}  // namespace dtaint::obs

@@ -1,0 +1,76 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/obs/log.h"
+#include "src/util/strings.h"
+
+namespace dtaint::obs {
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  t0_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Stop() { enabled_.store(false, std::memory_order_relaxed); }
+
+uint64_t Tracer::NowRelNanos() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0_)
+          .count());
+}
+
+void Tracer::RecordComplete(std::string_view category, std::string_view name,
+                            uint64_t rel_start_ns, uint64_t dur_ns) {
+  if (!enabled()) return;
+  uint32_t tid = ThreadId();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{std::string(category), std::string(name),
+                          rel_start_ns, dur_ns, tid});
+}
+
+size_t Tracer::EventCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string Tracer::ToChromeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\":[";
+  char buf[64];
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    if (i) out += ',';
+    out += "{\"name\":\"" + JsonEscape(e.name) + "\",\"cat\":\"" +
+           JsonEscape(e.category) + "\",\"ph\":\"X\",\"ts\":";
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(e.start_ns) / 1000.0);
+    out += buf;
+    out += ",\"dur\":";
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(e.dur_ns) / 1000.0);
+    out += buf;
+    out += ",\"pid\":1,\"tid\":" + std::to_string(e.tid) + '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool Tracer::WriteChromeJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  std::string json = ToChromeJson();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  return out.good();
+}
+
+}  // namespace dtaint::obs

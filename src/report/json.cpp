@@ -46,6 +46,12 @@ class JsonBuilder {
     Comma();
     out_ += value ? "true" : "false";
   }
+  /// Splices a pre-serialized JSON value (e.g. MetricsSnapshotToJson
+  /// output) in as one element.
+  void Raw(std::string_view json) {
+    Comma();
+    out_ += json;
+  }
 
  private:
   void Open(char c) {
@@ -145,6 +151,37 @@ std::string ReportToJson(const AnalysisReport& report) {
       static_cast<uint64_t>(report.interproc_stats.cache_memory_bytes));
   json.EndObject();
   json.EndObject();
+
+  json.Key("pathfinder");
+  json.BeginObject();
+  json.Key("sinks_visited");
+  json.Number(static_cast<uint64_t>(report.pathfinder_stats.sinks_visited));
+  json.Key("paths_explored");
+  json.Number(static_cast<uint64_t>(report.pathfinder_stats.paths_explored));
+  json.Key("pruned_by_depth");
+  json.Number(static_cast<uint64_t>(report.pathfinder_stats.pruned_by_depth));
+  json.Key("paths_found");
+  json.Number(static_cast<uint64_t>(report.pathfinder_stats.paths_found));
+  json.Key("sanitized_away");
+  json.Number(static_cast<uint64_t>(report.pathfinder_stats.sanitized_away));
+  json.EndObject();
+
+  json.Key("hot_functions");
+  json.BeginArray();
+  for (const HotFunction& hot : report.hot_functions) {
+    json.BeginObject();
+    json.Key("name");
+    json.String(hot.name);
+    json.Key("seconds");
+    json.Number(hot.seconds);
+    json.Key("cached");
+    json.Bool(hot.cached);
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.Key("metrics");
+  json.Raw(obs::MetricsSnapshotToJson(report.metrics));
 
   json.Key("findings");
   json.BeginArray();

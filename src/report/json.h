@@ -12,6 +12,10 @@ namespace dtaint {
 
 /// Serializes a full analysis report:
 /// { "binary": ..., "arch": ..., "shape": {...}, "timings": {...},
+///   "interproc": {...}, "pathfinder": {sinks_visited, paths_explored,
+///   pruned_by_depth, paths_found, sanitized_away},
+///   "hot_functions": [{name, seconds, cached} ...],
+///   "metrics": {counters, gauges, histograms}  (per-run delta),
 ///   "findings": [ {class, sink, source, function, site, hops:[...],
 ///                  constraints:[...]} ... ] }
 std::string ReportToJson(const AnalysisReport& report);

@@ -69,7 +69,10 @@ std::vector<Binary> BuildCorpus() {
 }
 
 /// Serializes a report with the run-dependent fields (timings, cache
-/// counters) zeroed; everything else must survive byte comparison.
+/// counters, per-run metrics, the timing-ordered hot-function profile)
+/// zeroed; everything else must survive byte comparison. Note
+/// PathFinderStats is NOT cleared: path-search effort is deterministic
+/// and must itself be identical cold vs warm.
 std::string NormalizedJson(AnalysisReport report) {
   report.ssa_seconds = 0.0;
   report.ddg_seconds = 0.0;
@@ -79,6 +82,9 @@ std::string NormalizedJson(AnalysisReport report) {
   report.interproc_stats.cache_misses = 0;
   report.interproc_stats.cache_evictions = 0;
   report.interproc_stats.cache_memory_bytes = 0;
+  report.interproc_stats.hot_functions.clear();
+  report.hot_functions.clear();
+  report.metrics = obs::MetricsSnapshot{};
   return ReportToJson(report);
 }
 

@@ -2,6 +2,7 @@
 
 #include "src/report/json.h"
 #include "src/synth/firmware_synth.h"
+#include "src/util/json.h"
 
 namespace dtaint {
 namespace {
@@ -72,6 +73,90 @@ TEST(JsonReport, FindingsSerializedWithHops) {
   }
   EXPECT_EQ(depth, 0);
   EXPECT_FALSE(in_string);
+}
+
+TEST(JsonReport, MetricsObjectEmbedsPerRunSnapshot) {
+  AnalysisReport report;
+  report.binary_name = "m";
+  report.metrics.counters["cache.hits"] = 7;
+  report.metrics.counters["pathfind.paths_found"] = 2;
+  report.metrics.gauges["cache.memory_bytes"] = 4096.0;
+  obs::HistogramStats h;
+  h.count = 3;
+  h.sum = 30;
+  h.max = 20;
+  h.p50 = 15;
+  h.p95 = 20;
+  report.metrics.histograms["summary.function_micros"] = h;
+  report.pathfinder_stats.sinks_visited = 4;
+  report.pathfinder_stats.paths_explored = 9;
+  report.pathfinder_stats.paths_found = 2;
+  report.hot_functions = {{"hot_fn", 0.25, false}};
+
+  std::string json = ReportToJson(report);
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  const JsonValue* metrics = parsed->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_TRUE(metrics->is_object());
+  const JsonValue* counters = metrics->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->Find("cache.hits")->number(), 7.0);
+  EXPECT_DOUBLE_EQ(counters->Find("pathfind.paths_found")->number(), 2.0);
+  EXPECT_DOUBLE_EQ(
+      metrics->Find("gauges")->Find("cache.memory_bytes")->number(), 4096.0);
+  const JsonValue* histogram =
+      metrics->Find("histograms")->Find("summary.function_micros");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_DOUBLE_EQ(histogram->Find("count")->number(), 3.0);
+  EXPECT_DOUBLE_EQ(histogram->Find("p95")->number(), 20.0);
+
+  const JsonValue* pathfinder = parsed->Find("pathfinder");
+  ASSERT_NE(pathfinder, nullptr);
+  EXPECT_DOUBLE_EQ(pathfinder->Find("sinks_visited")->number(), 4.0);
+  EXPECT_DOUBLE_EQ(pathfinder->Find("paths_explored")->number(), 9.0);
+
+  const JsonValue* hot = parsed->Find("hot_functions");
+  ASSERT_NE(hot, nullptr);
+  ASSERT_TRUE(hot->is_array());
+  ASSERT_EQ(hot->array().size(), 1u);
+  EXPECT_EQ(hot->array()[0].Find("name")->string(), "hot_fn");
+  EXPECT_DOUBLE_EQ(hot->array()[0].Find("seconds")->number(), 0.25);
+  EXPECT_EQ(hot->array()[0].Find("cached")->boolean(), false);
+}
+
+TEST(JsonReport, FullReportParsesWithRepoParser) {
+  // End-to-end: a real report (findings, hops, constraints, metrics)
+  // must survive the repo's own JSON parser — producer and consumer
+  // cannot drift apart.
+  ProgramSpec spec;
+  spec.name = "rt";
+  spec.arch = Arch::kDtMips;
+  spec.seed = 11;
+  spec.filler_functions = 3;
+  PlantSpec p;
+  p.id = "rt";
+  p.pattern = VulnPattern::kWrapper;
+  p.source = "recv";
+  p.sink = "strcpy";
+  spec.plants = {p};
+  auto out = SynthesizeBinary(spec);
+  ASSERT_TRUE(out.ok());
+  auto report = DTaint().Analyze(out->binary);
+  ASSERT_TRUE(report.ok());
+
+  auto parsed = ParseJson(ReportToJson(*report));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("binary")->string(), "rt");
+  ASSERT_NE(parsed->Find("findings"), nullptr);
+  EXPECT_EQ(parsed->Find("findings")->array().size(),
+            report->findings.size());
+  ASSERT_NE(parsed->Find("metrics"), nullptr);
+  EXPECT_DOUBLE_EQ(
+      parsed->Find("metrics")->Find("counters")->Find("lift.functions")
+          ->number(),
+      static_cast<double>(report->functions));
 }
 
 TEST(JsonScore, RoundNumbersPresent) {
