@@ -11,10 +11,121 @@
 #include "src/isa/decode.h"
 #include "src/isa/encode.h"
 #include "src/lifter/lifter.h"
+#include "src/symexec/intern.h"
 #include "src/synth/firmware_synth.h"
 
 namespace dtaint {
 namespace {
+
+// ---- SymExpr hot-operation microbenchmarks ---------------------------------
+//
+// Each pair runs the same operation with hash-consing on (the default)
+// and off (the legacy heap-allocating path), so the interner's win is
+// visible in isolation: Equal on interned operands is a pointer
+// compare, Replace prunes by the per-node bloom/kind masks, and Bin
+// normalization stops allocating on the hit path.
+
+/// A deep expression exercising every recursive operation:
+/// deref(...deref(arg0+1)+2...)+depth with alternating Add/Deref spine.
+SymRef DeepExpr(int depth) {
+  SymRef e = SymExpr::Arg(0);
+  for (int i = 1; i <= depth; ++i) {
+    e = SymExpr::Deref(SymAdd(e, i));
+    e = SymExpr::Bin(BinOp::kXor, e, SymExpr::InitReg(i % 8));
+  }
+  return e;
+}
+
+void BM_SymExprEqualDeep_Interned(benchmark::State& state) {
+  ScopedExprInterning on(true);
+  // Two separately-built but structurally identical trees: interning
+  // canonicalizes them to the same node, so Equal is one compare.
+  SymRef a = DeepExpr(32);
+  SymRef b = DeepExpr(32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SymExpr::Equal(a, b));
+  }
+}
+BENCHMARK(BM_SymExprEqualDeep_Interned);
+
+void BM_SymExprEqualDeep_Legacy(benchmark::State& state) {
+  ScopedExprInterning off(false);
+  SymRef a = DeepExpr(32);
+  SymRef b = DeepExpr(32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SymExpr::Equal(a, b));
+  }
+}
+BENCHMARK(BM_SymExprEqualDeep_Legacy);
+
+void BM_SymExprReplace_Interned(benchmark::State& state) {
+  ScopedExprInterning on(true);
+  SymRef hay = DeepExpr(32);
+  SymRef from = SymExpr::Arg(0);  // buried at the bottom of the spine
+  SymRef to = SymExpr::Sp0();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SymExpr::Replace(hay, from, to));
+  }
+}
+BENCHMARK(BM_SymExprReplace_Interned);
+
+void BM_SymExprReplace_Legacy(benchmark::State& state) {
+  ScopedExprInterning off(false);
+  SymRef hay = DeepExpr(32);
+  SymRef from = SymExpr::Arg(0);
+  SymRef to = SymExpr::Sp0();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SymExpr::Replace(hay, from, to));
+  }
+}
+BENCHMARK(BM_SymExprReplace_Legacy);
+
+void BM_SymExprReplaceMiss_Interned(benchmark::State& state) {
+  ScopedExprInterning on(true);
+  // Absent needle: the bloom/kind-mask prune answers without a walk.
+  SymRef hay = DeepExpr(32);
+  SymRef from = SymExpr::Arg(7);
+  SymRef to = SymExpr::Sp0();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SymExpr::Replace(hay, from, to));
+  }
+}
+BENCHMARK(BM_SymExprReplaceMiss_Interned);
+
+void BM_BinNormalization_Interned(benchmark::State& state) {
+  ScopedExprInterning on(true);
+  SymRef base = SymExpr::Arg(0);
+  for (auto _ : state) {
+    // (arg0 + 4) + 4 + ... — the store-address pattern the engine
+    // normalizes millions of times; every node here is an intern hit.
+    SymRef e = base;
+    for (int i = 0; i < 16; ++i) e = SymAdd(e, 4);
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_BinNormalization_Interned);
+
+void BM_BinNormalization_Legacy(benchmark::State& state) {
+  ScopedExprInterning off(false);
+  SymRef base = SymExpr::Arg(0);
+  for (auto _ : state) {
+    SymRef e = base;
+    for (int i = 0; i < 16; ++i) e = SymAdd(e, 4);
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_BinNormalization_Legacy);
+
+void BM_IsTaintedDeep_Interned(benchmark::State& state) {
+  ScopedExprInterning on(true);
+  SymRef e = SymAdd(SymExpr::Bin(BinOp::kXor, DeepExpr(32),
+                                 SymExpr::Taint(0x10, "recv")),
+                    8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e->IsTainted());
+  }
+}
+BENCHMARK(BM_IsTaintedDeep_Interned);
 
 /// Shared medium-sized program for the per-phase benchmarks.
 const SynthOutput& TestProgram() {
@@ -80,6 +191,19 @@ void BM_SymExecFunction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SymExecFunction);
+
+void BM_SymExecFunction_Legacy(benchmark::State& state) {
+  ScopedExprInterning off(false);
+  const Binary& bin = TestProgram().binary;
+  CfgBuilder builder(bin);
+  Program program = std::move(*builder.BuildProgram());
+  SymEngine engine(bin);
+  const Function& fn = program.functions.at("b1_handler");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Analyze(fn));
+  }
+}
+BENCHMARK(BM_SymExecFunction_Legacy);
 
 void BM_AliasReplace(benchmark::State& state) {
   const Binary& bin = TestProgram().binary;

@@ -3,6 +3,7 @@
 #include <map>
 #include <tuple>
 
+#include "src/symexec/intern.h"
 #include "src/util/hash.h"
 #include "src/util/strings.h"
 
@@ -23,6 +24,15 @@ constexpr int kMaxExprDepth = 512;
 // post-order id. This keeps blobs and decode time proportional to the
 // number of unique nodes instead of the fully-expanded tree, and the
 // decoder reconstructs the same sharing, so encode(decode(b)) == b.
+//
+// The identity used is the *canonical* (hash-consed) node: every
+// expression is routed through ExprInterner::Canonical before its
+// pointer enters the dedup maps. That makes the sharing structure — and
+// therefore the bytes — a function of the summary's value alone,
+// independent of how its expressions were built (interned factories,
+// the legacy heap path, or a decode of an older blob). The
+// interned-vs-legacy differential suite byte-compares encodings to hold
+// this line.
 constexpr uint8_t kExprBackRef = 0xFF;
 
 class Writer {
@@ -45,11 +55,14 @@ class Writer {
     out_.insert(out_.end(), s.begin(), s.end());
   }
 
-  void Expr(const SymRef& e) {
-    if (!e) {
+  void Expr(const SymRef& raw) {
+    if (!raw) {
       U8(0);
       return;
     }
+    // Canonical identity: O(1) when already interned (the default),
+    // and an intern of the subtree for legacy/hand-built expressions.
+    SymRef e = ExprInterner::Global().Canonical(raw);
     auto it = expr_ids_.find(e.get());
     if (it != expr_ids_.end()) {
       U8(kExprBackRef);
@@ -99,8 +112,7 @@ class Writer {
     // the same path, so the same constraint recurs hundreds of times
     // per summary (sharing its expression pointers). Intern them like
     // expression nodes: full record once, back-reference after.
-    ConstraintKey key{static_cast<uint8_t>(c.op), c.lhs.get(), c.rhs.get(),
-                      c.taken, c.site};
+    ConstraintKey key = KeyFor(c);
     auto it = constraint_ids_.find(key);
     if (it != constraint_ids_.end()) {
       U8(kExprBackRef);
@@ -123,10 +135,7 @@ class Writer {
     // cost five bytes instead of one back-reference per member.
     ListKey key;
     key.reserve(list.size());
-    for (const PathConstraint& c : list) {
-      key.emplace_back(static_cast<uint8_t>(c.op), c.lhs.get(), c.rhs.get(),
-                       c.taken, c.site);
-    }
+    for (const PathConstraint& c : list) key.push_back(KeyFor(c));
     auto it = list_ids_.find(key);
     if (it != list_ids_.end()) {
       U8(kExprBackRef);
@@ -145,6 +154,17 @@ class Writer {
   using ConstraintKey =
       std::tuple<uint8_t, const SymExpr*, const SymExpr*, bool, uint32_t>;
   using ListKey = std::vector<ConstraintKey>;
+
+  // Constraint dedup keys carry canonical expression pointers for the
+  // same reason Expr does: identical constraints must collide whether
+  // their expressions happen to share heap nodes or not.
+  static ConstraintKey KeyFor(const PathConstraint& c) {
+    ExprInterner& interner = ExprInterner::Global();
+    return ConstraintKey{static_cast<uint8_t>(c.op),
+                         c.lhs ? interner.Canonical(c.lhs).get() : nullptr,
+                         c.rhs ? interner.Canonical(c.rhs).get() : nullptr,
+                         c.taken, c.site};
+  }
 
   std::vector<uint8_t> out_;
   std::map<const SymExpr*, uint32_t> expr_ids_;

@@ -5,6 +5,7 @@
 #include "src/obs/log.h"
 #include "src/obs/stopwatch.h"
 #include "src/obs/trace.h"
+#include "src/symexec/intern.h"
 #include "src/util/strings.h"
 
 namespace dtaint {
@@ -160,6 +161,9 @@ Result<AnalysisReport> DTaint::AnalyzeFunctions(
   }
   report.ddg_seconds = t_ddg.Seconds();
   report.total_seconds = t_total.Seconds();
+  // Fold the path-search/sanitization expression traffic into the
+  // intern.* counters before the per-run delta is taken.
+  ExprInterner::Global().PublishMetrics();
   report.metrics = registry.Snapshot().DeltaSince(metrics_before);
   DTAINT_LOG(obs::LogLevel::kInfo, "dtaint",
              "%s: %zu findings (%zu paths, %zu sanitized) in %.3fs",

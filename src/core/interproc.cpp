@@ -7,6 +7,7 @@
 
 #include "src/cache/summary_cache.h"
 #include "src/core/alias.h"
+#include "src/symexec/intern.h"
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/stopwatch.h"
@@ -22,6 +23,8 @@ namespace {
 /// ReplaceFormalArgs). Unmapped formals stay as-is.
 SymRef ReplaceFormalArgs(const SymRef& expr,
                          const std::vector<SymRef>& actual_args) {
+  // O(1) bail-out for the common case: nothing argument-rooted inside.
+  if (!expr->ContainsKind(SymKind::kArg)) return expr;
   SymRef result = expr;
   for (int i = 0; i < kMaxModeledArgs; ++i) {
     SymRef formal = SymExpr::Arg(i);
@@ -38,6 +41,8 @@ SymRef ReplaceFormalArgs(const SymRef& expr,
 /// the same allocating callee produce distinct objects (Listing 1's
 /// "hash value of the callsite chain").
 SymRef RehashHeap(const SymRef& expr, uint32_t callsite) {
+  // The kind bitmask proves heap-freeness without walking the tree.
+  if (!expr->ContainsKind(SymKind::kHeap)) return expr;
   if (expr->kind() == SymKind::kHeap) {
     return SymExpr::Heap(HashCombine(expr->heap_id(), callsite));
   }
@@ -315,6 +320,9 @@ ProgramAnalysis RunBottomUp(const Program& program, const CallGraph& graph,
   registry.counter("link.uses_forwarded").Add(analysis.stats.uses_forwarded);
   registry.counter("link.rets_replaced").Add(analysis.stats.rets_replaced);
   registry.counter("alias.pairs_added").Add(analysis.stats.alias_pairs_added);
+  // Expression-interner counters cover this pass's factory traffic
+  // (worker pool included) once published.
+  ExprInterner::Global().PublishMetrics();
   DTAINT_LOG(obs::LogLevel::kDebug, "interproc",
              "pass done: %zu functions in %.3fs, %zu defs propagated, "
              "%zu uses forwarded, %zu rets replaced, cache %zu/%zu hit/miss",

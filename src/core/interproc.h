@@ -42,12 +42,14 @@ struct InterprocConfig {
   size_t max_imported_per_callsite = 256;
   /// Worker threads for the intraprocedural phase. Per-function
   /// symbolic analyses are independent (results are identical for any
-  /// thread count — tested), but the work is dominated by small
-  /// shared_ptr/map allocations, so with the default glibc allocator
-  /// extra threads contend and can run *slower* on the binaries in
-  /// this repo (see bench/scaling_size). Worth >1 only with an
-  /// arena/thread-caching allocator or far heavier per-function
-  /// budgets. 1 = sequential (default; matches the paper's prototype).
+  /// thread count — tested by the differential suite). Since the
+  /// expression interner landed (src/symexec/intern.h) the per-function
+  /// work no longer hammers the allocator — equality is a pointer
+  /// compare and factory hits allocate nothing — so extra threads pay
+  /// off on multi-core hosts; bench/scaling_threads measures the
+  /// sequential-vs-N speedup of the summary phase. Set to the core
+  /// count for large binaries/fleets. 1 = sequential (default, and the
+  /// right choice on single-core hosts).
   int num_threads = 1;
   /// Optional persistent function-summary cache (off by default). When
   /// set, the intraprocedural phase looks up each function's summary by

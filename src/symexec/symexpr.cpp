@@ -1,5 +1,8 @@
 #include "src/symexec/symexpr.h"
 
+#include <cassert>
+
+#include "src/symexec/intern.h"
 #include "src/util/hash.h"
 #include "src/util/strings.h"
 
@@ -37,25 +40,43 @@ uint32_t FoldConst(BinOp op, uint32_t a, uint32_t b) {
 
 }  // namespace
 
+uint64_t SymExpr::ShapeHash(SymKind kind, uint64_t a, uint8_t size,
+                            BinOp op, const SymExpr* lhs,
+                            const SymExpr* rhs, std::string_view text) {
+  uint64_t h = HashCombine(0x1234ABCD, static_cast<uint64_t>(kind));
+  h = HashCombine(h, a);
+  h = HashCombine(h, size);
+  h = HashCombine(h, static_cast<uint64_t>(op));
+  if (lhs) h = HashCombine(h, lhs->hash_);
+  if (rhs) h = HashCombine(h, rhs->hash_);
+  if (!text.empty()) h = HashCombine(h, Fnv1a(text));
+  return h;
+}
+
 SymExpr::SymExpr(SymKind kind, uint64_t a, uint8_t size, BinOp op,
-                 SymRef lhs, SymRef rhs, std::string text)
+                 SymRef lhs, SymRef rhs, std::string text,
+                 uint64_t shape_hash)
     : kind_(kind), size_(size), op_(op), a_(a), lhs_(std::move(lhs)),
-      rhs_(std::move(rhs)), text_(std::move(text)) {
-  uint64_t h = HashCombine(0x1234ABCD, static_cast<uint64_t>(kind_));
-  h = HashCombine(h, a_);
-  h = HashCombine(h, size_);
-  h = HashCombine(h, static_cast<uint64_t>(op_));
-  if (lhs_) h = HashCombine(h, lhs_->hash_);
-  if (rhs_) h = HashCombine(h, rhs_->hash_);
-  if (!text_.empty()) h = HashCombine(h, Fnv1a(text_));
-  hash_ = h;
+      rhs_(std::move(rhs)), text_(std::move(text)), hash_(shape_hash) {
+  assert(hash_ ==
+         ShapeHash(kind_, a_, size_, op_, lhs_.get(), rhs_.get(), text_));
   depth_ = 1 + (lhs_ ? lhs_->depth_ : 0) + (rhs_ ? rhs_->depth_ : 0);
+  kind_mask_ = static_cast<uint16_t>(KindBit(kind_) |
+                                     (lhs_ ? lhs_->kind_mask_ : 0) |
+                                     (rhs_ ? rhs_->kind_mask_ : 0));
+  bloom_ = BloomBit(hash_) | (lhs_ ? lhs_->bloom_ : 0) |
+           (rhs_ ? rhs_->bloom_ : 0);
 }
 
 SymRef SymExpr::Make(SymKind kind, uint64_t a, uint8_t size, BinOp op,
                      SymRef lhs, SymRef rhs, std::string text) {
+  if (ExprInterningEnabled()) {
+    return ExprInterner::Global().Intern(kind, a, size, op, std::move(lhs),
+                                         std::move(rhs), std::move(text));
+  }
+  uint64_t h = ShapeHash(kind, a, size, op, lhs.get(), rhs.get(), text);
   return SymRef(new SymExpr(kind, a, size, op, std::move(lhs),
-                            std::move(rhs), std::move(text)));
+                            std::move(rhs), std::move(text), h));
 }
 
 SymRef SymExpr::Const(uint32_t value) {
@@ -120,12 +141,20 @@ SymRef SymExpr::Bin(BinOp op, SymRef lhs, SymRef rhs) {
 bool SymExpr::Equal(const SymRef& a, const SymRef& b) {
   if (a.get() == b.get()) return true;
   if (!a || !b) return false;
-  if (a->hash_ != b->hash_) return false;
-  if (a->kind_ != b->kind_ || a->a_ != b->a_ || a->size_ != b->size_ ||
-      a->op_ != b->op_ || a->text_ != b->text_) {
+  if (a->interned_ && b->interned_) {
+    // Hash-consed nodes are canonical: distinct pointers are distinct
+    // structures. The deep walk survives as a differential check.
+    assert(!DeepEqual(*a, *b));
     return false;
   }
-  return Equal(a->lhs_, b->lhs_) && Equal(a->rhs_, b->rhs_);
+  return DeepEqual(*a, *b);
+}
+
+bool SymExpr::DeepEqual(const SymExpr& a, const SymExpr& b) {
+  if (&a == &b) return true;
+  if (a.hash_ != b.hash_) return false;
+  if (!SameShallowFields(a, b)) return false;
+  return Equal(a.lhs_, b.lhs_) && Equal(a.rhs_, b.rhs_);
 }
 
 SymExpr::BaseOffset SymExpr::SplitBaseOffset(const SymRef& expr) {
@@ -140,22 +169,32 @@ SymExpr::BaseOffset SymExpr::SplitBaseOffset(const SymRef& expr) {
 }
 
 bool SymExpr::Contains(const SymRef& needle) const {
-  if (hash_ == needle->hash_) {
-    // Possible match; verify structurally via a temporary self-view.
-    if (kind_ == needle->kind_ && a_ == needle->a_ &&
-        size_ == needle->size_ && op_ == needle->op_ &&
-        text_ == needle->text_ && Equal(lhs_, needle->lhs_) &&
-        Equal(rhs_, needle->rhs_)) {
-      return true;
-    }
+  if (!needle) return false;
+  if (!MayContain(*needle)) return false;
+  return ContainsImpl(*needle);
+}
+
+bool SymExpr::ContainsImpl(const SymExpr& needle) const {
+  if (this == &needle) return true;
+  // Interned nodes match by identity alone (checked above); a mixed or
+  // legacy pair falls back to the shared structural compare.
+  if (!(interned_ && needle.interned_) && hash_ == needle.hash_ &&
+      SameShallowFields(*this, needle) && Equal(lhs_, needle.lhs_) &&
+      Equal(rhs_, needle.rhs_)) {
+    return true;
   }
-  if (lhs_ && lhs_->Contains(needle)) return true;
-  if (rhs_ && rhs_->Contains(needle)) return true;
+  if (lhs_ && lhs_->MayContain(needle) && lhs_->ContainsImpl(needle)) {
+    return true;
+  }
+  if (rhs_ && rhs_->MayContain(needle) && rhs_->ContainsImpl(needle)) {
+    return true;
+  }
   return false;
 }
 
 void SymExpr::CollectDerefs(const SymRef& expr, std::vector<SymRef>* out,
                             bool skip_self) {
+  if (!expr->ContainsKind(SymKind::kDeref)) return;
   if (expr->kind_ == SymKind::kDeref && !skip_self) {
     out->push_back(expr);
   }
@@ -166,6 +205,10 @@ void SymExpr::CollectDerefs(const SymRef& expr, std::vector<SymRef>* out,
 SymRef SymExpr::Replace(const SymRef& self, const SymRef& from,
                         const SymRef& to) {
   if (Equal(self, from)) return to;
+  // Subtree pruning: the kind bitmask and hash bloom prove absence
+  // without walking (the self-match above is covered by the bloom —
+  // every node's own hash bit is set in it).
+  if (!self->MayContain(*from)) return self;
   if (!self->lhs_ && !self->rhs_) return self;
   SymRef new_lhs = self->lhs_ ? Replace(self->lhs_, from, to) : nullptr;
   SymRef new_rhs = self->rhs_ ? Replace(self->rhs_, from, to) : nullptr;
@@ -182,23 +225,14 @@ SymRef SymExpr::Replace(const SymRef& self, const SymRef& from,
   return self;
 }
 
-bool SymExpr::IsTainted() const {
-  if (kind_ == SymKind::kTaint) return true;
-  if (lhs_ && lhs_->IsTainted()) return true;
-  if (rhs_ && rhs_->IsTainted()) return true;
-  return false;
-}
-
 std::optional<std::pair<uint32_t, std::string>> SymExpr::FindTaint() const {
   if (kind_ == SymKind::kTaint) {
     return std::make_pair(taint_site(), text_);
   }
-  if (lhs_) {
-    if (auto t = lhs_->FindTaint()) return t;
-  }
-  if (rhs_) {
-    if (auto t = rhs_->FindTaint()) return t;
-  }
+  // Descend only into subtrees that carry taint; the leftmost-first
+  // order of the original full walk is preserved.
+  if (lhs_ && lhs_->IsTainted()) return lhs_->FindTaint();
+  if (rhs_ && rhs_->IsTainted()) return rhs_->FindTaint();
   return std::nullopt;
 }
 

@@ -13,9 +13,12 @@
 //   * Taint(site) — attacker-controlled bytes introduced by a source
 //                   library call at `site`
 //
-// Expressions are immutable, shared, and carry structural hashes so
-// equality checks (the workhorse of alias analysis and def-pair lookup)
-// are cheap. Add/Sub chains are normalized to `base + const` so that
+// Expressions are immutable, shared, and — by default — hash-consed
+// through the ExprInterner (src/symexec/intern.h): the factories return
+// the canonical node for each structure, so structural equality is a
+// pointer compare and Contains/Replace/taint queries short-circuit on
+// per-node flags cached at construction (a kind bitmask and a subtree
+// hash bloom). Add/Sub chains are normalized to `base + const` so that
 // GetBasePtr-style decomposition (paper Algorithm 1) is syntactic.
 #pragma once
 
@@ -23,6 +26,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/ir/expr.h"
@@ -42,6 +46,7 @@ enum class SymKind : uint8_t {
 };
 
 class SymExpr;
+class ExprInterner;
 using SymRef = std::shared_ptr<const SymExpr>;
 
 class SymExpr {
@@ -75,7 +80,22 @@ class SymExpr {
 
   uint64_t hash() const { return hash_; }
 
-  /// Deep structural equality (hash-gated).
+  /// True when this node is the canonical hash-consed instance. Two
+  /// interned nodes are structurally equal iff they are the same
+  /// pointer.
+  bool interned() const { return interned_; }
+
+  /// True if any node of kind `k` occurs in this expression (exact —
+  /// the kind bitmask is unioned over the whole subtree at
+  /// construction). The O(1) guard in front of kind-targeted rewrites
+  /// like heap re-keying and formal-argument substitution.
+  bool ContainsKind(SymKind k) const {
+    return (kind_mask_ & KindBit(k)) != 0;
+  }
+
+  /// Structural equality. O(1) for interned operands (pointer compare,
+  /// with the deep walk kept as a debug-build differential assert);
+  /// hash-gated deep comparison otherwise.
   static bool Equal(const SymRef& a, const SymRef& b);
 
   /// Decomposes into (base, constant offset): `x` -> (x, 0),
@@ -103,9 +123,11 @@ class SymExpr {
   /// Number of nodes (used to bound expression growth).
   int Depth() const { return depth_; }
 
-  /// True if any Taint node occurs in the expression.
-  bool IsTainted() const;
-  /// First taint node found, if any.
+  /// True if any Taint node occurs in the expression. O(1): answered
+  /// from the kind bitmask cached at construction.
+  bool IsTainted() const { return ContainsKind(SymKind::kTaint); }
+  /// First (leftmost) taint node, if any. The descent only enters
+  /// subtrees whose bitmask carries the taint bit.
   std::optional<std::pair<uint32_t, std::string>> FindTaint() const;
 
   /// Printable form mirroring the paper: "deref(arg0+0x4c)", "SP-0x100",
@@ -113,20 +135,63 @@ class SymExpr {
   std::string ToString() const;
 
  private:
+  friend class ExprInterner;  // constructs nodes in its arena
+
+  /// `shape_hash` must be ShapeHash over the same fields — both callers
+  /// (the interner's miss path and the legacy factory) have already
+  /// computed it for the table probe, so the constructor takes it
+  /// instead of hashing twice (debug builds assert the match).
   SymExpr(SymKind kind, uint64_t a, uint8_t size, BinOp op, SymRef lhs,
-          SymRef rhs, std::string text);
+          SymRef rhs, std::string text, uint64_t shape_hash);
 
   static SymRef Make(SymKind kind, uint64_t a, uint8_t size, BinOp op,
                      SymRef lhs, SymRef rhs, std::string text = {});
 
+  static constexpr uint16_t KindBit(SymKind k) {
+    return static_cast<uint16_t>(uint16_t{1} << static_cast<int>(k));
+  }
+  static constexpr uint64_t BloomBit(uint64_t hash) {
+    return uint64_t{1} << (hash & 63);
+  }
+  /// May `needle` occur inside this subtree? One-sided: false is
+  /// definitive (kind bitmask + subtree hash bloom), true means "walk".
+  bool MayContain(const SymExpr& needle) const {
+    return (kind_mask_ & KindBit(needle.kind_)) != 0 &&
+           (bloom_ & BloomBit(needle.hash_)) != 0;
+  }
+
+  /// The structural hash of a node with these fields (children by
+  /// canonical identity of their own hashes). Single definition shared
+  /// by the constructor and the interner's pre-construction lookup.
+  static uint64_t ShapeHash(SymKind kind, uint64_t a, uint8_t size,
+                            BinOp op, const SymExpr* lhs,
+                            const SymExpr* rhs, std::string_view text);
+
+  /// Field-for-field comparison of two nodes excluding children — the
+  /// single shallow-compare both Equal and Contains build on (so the
+  /// two cannot drift).
+  static bool SameShallowFields(const SymExpr& x, const SymExpr& y) {
+    return x.kind_ == y.kind_ && x.a_ == y.a_ && x.size_ == y.size_ &&
+           x.op_ == y.op_ && x.text_ == y.text_;
+  }
+
+  /// Full structural walk, hash-gated. The reference semantics Equal's
+  /// pointer fast path must agree with (debug builds assert this).
+  static bool DeepEqual(const SymExpr& a, const SymExpr& b);
+
+  bool ContainsImpl(const SymExpr& needle) const;
+
   SymKind kind_;
   uint8_t size_ = 4;
   BinOp op_ = BinOp::kAdd;
+  bool interned_ = false;   // set by ExprInterner on its nodes
+  uint16_t kind_mask_ = 0;  // union of KindBit over the subtree
   uint64_t a_ = 0;          // const/arg/ret/heap/init payload
   SymRef lhs_;
   SymRef rhs_;
   std::string text_;        // taint source name
   uint64_t hash_ = 0;
+  uint64_t bloom_ = 0;      // union of BloomBit(hash) over the subtree
   int depth_ = 1;
 };
 
