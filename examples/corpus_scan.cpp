@@ -7,6 +7,24 @@
 // report: per image the extraction outcome and findings, then vendor
 // aggregates and precision/recall over the planted ground truth.
 //
+// Resilience: the scan never dies because one image is bad. Corrupt
+// images, unloadable binaries, and budget-exhausted functions are
+// recorded as incidents (phase + reason + effort counters) and the
+// scan moves on; vendor-encrypted images are an *expected* limitation
+// (the paper's >65% unpack-failure rate) and are tallied separately.
+// Exit code scores only images whose analysis ran to completion — an
+// incomplete image's missing findings are a triage item, not a
+// detection failure.
+//
+//   --deadline-ms MS / --max-steps N / --max-states N /
+//   --max-expr-nodes N   per-function analysis budget (0 = unlimited)
+//   --fail-fast          stop at the first incident, exit nonzero
+//   --json-out FILE      fleet report as JSON (images, incidents,
+//                        totals; findings via FindingsToJson so runs
+//                        are byte-comparable)
+//   --corrupt K          deterministically corrupt the first K
+//                        extractable images (resilience demos/tests)
+//
 // With `--cache-dir DIR`, one persistent function-summary cache is
 // shared across the whole fleet: identical functions in different
 // images (and the whole fleet on a re-run) are analyzed once.
@@ -23,6 +41,7 @@
 #include <cstring>
 #include <fstream>
 #include <optional>
+#include <string>
 
 #include "src/binary/loader.h"
 #include "src/cache/summary_cache.h"
@@ -32,8 +51,10 @@
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/report/json.h"
 #include "src/report/scoring.h"
 #include "src/report/table.h"
+#include "src/resilience/incident.h"
 #include "src/synth/firmware_synth.h"
 #include "src/util/rng.h"
 #include "src/util/strings.h"
@@ -118,20 +139,96 @@ std::vector<CorpusItem> BuildCorpus() {
   return corpus;
 }
 
+/// Flips one byte mid-payload: the extractor's checksum catches it and
+/// the image becomes a deterministic "corrupt data" incident.
+void CorruptBlob(std::vector<uint8_t>& blob) {
+  if (!blob.empty()) blob[blob.size() / 2] ^= 0x5A;
+}
+
+/// Per-image outcome, accumulated for the fleet JSON report.
+struct ImageResult {
+  std::string label;
+  std::string vendor;
+  std::string product;
+  std::string arch;
+  std::string packing;
+  /// "ok", "unextractable" (expected vendor encryption), or "failed"
+  /// (an incident was recorded for this image).
+  std::string status;
+  bool complete = false;
+  size_t functions = 0;
+  std::string findings_json = "[]";
+  std::optional<DetectionScore> score;
+};
+
+std::string FleetToJson(const std::vector<ImageResult>& images,
+                        const std::vector<Incident>& incidents,
+                        size_t tp, size_t fn, size_t fp,
+                        size_t unextractable, size_t complete_images) {
+  std::string out = "{\n  \"images\": [";
+  for (size_t i = 0; i < images.size(); ++i) {
+    const ImageResult& im = images[i];
+    out += i ? ",\n    {" : "\n    {";
+    out += "\"label\": \"" + JsonEscape(im.label) + "\"";
+    out += ", \"vendor\": \"" + JsonEscape(im.vendor) + "\"";
+    out += ", \"product\": \"" + JsonEscape(im.product) + "\"";
+    out += ", \"arch\": \"" + JsonEscape(im.arch) + "\"";
+    out += ", \"packing\": \"" + JsonEscape(im.packing) + "\"";
+    out += ", \"status\": \"" + JsonEscape(im.status) + "\"";
+    out += std::string(", \"complete\": ") + (im.complete ? "true" : "false");
+    out += ", \"functions\": " + std::to_string(im.functions);
+    out += ", \"findings\": " + im.findings_json;
+    if (im.score) out += ", \"score\": " + ScoreToJson(*im.score);
+    out += "}";
+  }
+  out += "\n  ],\n  \"incidents\": " + IncidentsToJson(incidents);
+  out += ",\n  \"totals\": {";
+  out += "\"images\": " + std::to_string(images.size());
+  out += ", \"complete_images\": " + std::to_string(complete_images);
+  out += ", \"unextractable\": " + std::to_string(unextractable);
+  out += ", \"incidents\": " + std::to_string(incidents.size());
+  out += ", \"tp\": " + std::to_string(tp);
+  out += ", \"fn\": " + std::to_string(fn);
+  out += ", \"fp\": " + std::to_string(fp);
+  out += "}\n}";
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::optional<SummaryCache> cache;
   const char* trace_out = nullptr;
   const char* metrics_out = nullptr;
+  const char* json_out = nullptr;
   int num_threads = 1;
-  for (int i = 1; i + 1 < argc; ++i) {
+  int corrupt_count = 0;
+  bool fail_fast = false;
+  AnalysisBudget budget;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fail-fast") == 0) {
+      fail_fast = true;
+      continue;
+    }
+    if (i + 1 >= argc) continue;
     if (std::strcmp(argv[i], "--threads") == 0) {
       num_threads = atoi(argv[i + 1]);
     } else if (std::strcmp(argv[i], "--cache-dir") == 0) {
       CacheConfig cache_config;
       cache_config.disk_dir = argv[i + 1];
       cache.emplace(cache_config);
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      budget.deadline_ms = atof(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--max-steps") == 0) {
+      budget.max_steps = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--max-states") == 0) {
+      budget.max_states = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--max-expr-nodes") == 0) {
+      budget.max_expr_nodes = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--corrupt") == 0) {
+      corrupt_count = atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--json-out") == 0) {
+      json_out = argv[i + 1];
     } else if (std::strcmp(argv[i], "--log-level") == 0) {
       obs::LogLevel level;
       if (!obs::ParseLogLevel(argv[i + 1], &level)) {
@@ -148,65 +245,188 @@ int main(int argc, char** argv) {
   if (trace_out) obs::Tracer::Global().Start();
 
   std::vector<CorpusItem> corpus = BuildCorpus();
-  std::printf("fleet scan: %zu firmware images%s\n\n", corpus.size(),
-              cache ? " (summary cache enabled)" : "");
+  // Deterministic damage for the resilience demo: only images whose
+  // packing is recoverable would otherwise extract, so corrupting them
+  // converts "ok" images into incidents without touching the rest.
+  int corrupted = 0;
+  for (CorpusItem& item : corpus) {
+    if (corrupted >= corrupt_count) break;
+    if (item.spec.packing == Packing::kPlain ||
+        item.spec.packing == Packing::kXor) {
+      CorruptBlob(item.blob);
+      ++corrupted;
+    }
+  }
+  std::printf("fleet scan: %zu firmware images%s%s\n\n", corpus.size(),
+              cache ? " (summary cache enabled)" : "",
+              corrupted ? " (corruption injected)" : "");
 
-  TextTable table({"Image", "Arch", "Packing", "Extraction", "Fns",
+  TextTable table({"Image", "Arch", "Packing", "Status", "Complete", "Fns",
                    "Findings", "TP", "FP+twin", "Missed"});
-  size_t fleet_tp = 0, fleet_fn = 0, fleet_fp = 0, unextractable = 0;
+  size_t fleet_tp = 0, fleet_fn = 0, fleet_fp = 0;
+  size_t unextractable = 0, complete_images = 0;
+  std::vector<ImageResult> images;
+  std::vector<Incident> incidents;
+  bool aborted = false;
 
   for (const CorpusItem& item : corpus) {
     std::string label = item.spec.vendor + " " + item.spec.product;
-    auto extracted = FirmwareExtractor::Extract(item.blob);
+    ImageResult im;
+    im.label = label;
+    im.vendor = item.spec.vendor;
+    im.product = item.spec.product;
+    im.arch = std::string(ArchName(item.spec.program.arch));
+    im.packing = std::string(PackingName(item.spec.packing));
+
+    auto record_incident = [&](const std::string& phase,
+                               const std::string& detail,
+                               const Status& status) {
+      Incident inc;
+      inc.binary = label;
+      inc.phase = phase;
+      inc.detail = detail;
+      inc.status = status;
+      incidents.push_back(inc);
+      DTAINT_LOG(obs::LogLevel::kWarn, "corpus", "%s",
+                 incidents.back().ToString().c_str());
+    };
+    auto add_row = [&](const char* status_text) {
+      table.AddRow({im.label, im.arch, im.packing, status_text,
+                    im.status == "ok" ? (im.complete ? "yes" : "NO") : "-",
+                    im.status == "ok" ? std::to_string(im.functions) : "-",
+                    "-", "-", "-", "-"});
+    };
+
+    auto extracted = FirmwareExtractor::Extract(item.blob, label);
     if (!extracted.ok()) {
-      ++unextractable;
-      table.AddRow({label,
-                    std::string(ArchName(item.spec.program.arch)),
-                    std::string(PackingName(item.spec.packing)),
-                    "FAILED: " + std::string(StatusCodeName(
-                        extracted.status().code())),
-                    "-", "-", "-", "-", "-"});
+      // Vendor encryption / unknown compression is the corpus's
+      // expected attrition (Unsupported); anything else is an incident.
+      if (extracted.status().code() == StatusCode::kUnsupported) {
+        ++unextractable;
+        im.status = "unextractable";
+        add_row("unextractable");
+      } else {
+        im.status = "failed";
+        record_incident("extract", label, extracted.status());
+        add_row("FAILED: extract");
+        if (fail_fast) {
+          images.push_back(std::move(im));
+          aborted = true;
+          break;
+        }
+      }
+      images.push_back(std::move(im));
       continue;
     }
     const FirmwareFile* file =
         extracted->image.FindFile(item.spec.binary_path);
-    auto binary = BinaryLoader::Load(file->bytes);
+    if (!file) {
+      im.status = "failed";
+      record_incident("load", item.spec.binary_path,
+                      NotFound(label + ": no " + item.spec.binary_path +
+                               " in extracted image"));
+      add_row("FAILED: no binary");
+      images.push_back(std::move(im));
+      if (fail_fast) {
+        aborted = true;
+        break;
+      }
+      continue;
+    }
+    auto binary =
+        BinaryLoader::Load(file->bytes, label + item.spec.binary_path);
     if (!binary.ok()) {
-      DTAINT_LOG(obs::LogLevel::kWarn, "corpus", "%s: load failed: %s",
-                 label.c_str(), binary.status().ToString().c_str());
+      im.status = "failed";
+      record_incident("load", item.spec.binary_path, binary.status());
+      add_row("FAILED: load");
+      images.push_back(std::move(im));
+      if (fail_fast) {
+        aborted = true;
+        break;
+      }
       continue;
     }
     DTaintConfig config;
     if (cache) config.interproc.cache = &*cache;
     config.interproc.num_threads = num_threads;
+    config.interproc.budget = budget;
     DTaint detector(config);
     auto report = detector.Analyze(*binary);
     if (!report.ok()) {
-      DTAINT_LOG(obs::LogLevel::kWarn, "corpus", "%s: analysis failed: %s",
-                 label.c_str(), report.status().ToString().c_str());
+      im.status = "failed";
+      record_incident("analyze", binary->soname, report.status());
+      add_row("FAILED: analyze");
+      images.push_back(std::move(im));
+      if (fail_fast) {
+        aborted = true;
+        break;
+      }
       continue;
     }
+    // Per-function incidents (lift failures, budget exhaustions) come
+    // back inside the report; relabel them with the fleet label so the
+    // fleet log is unambiguous across images that share a soname.
+    for (Incident inc : report->incidents) {
+      inc.binary = label;
+      incidents.push_back(std::move(inc));
+    }
+    im.status = "ok";
+    im.complete = report->complete;
+    im.functions = report->analyzed_functions;
+    im.findings_json = FindingsToJson(report->findings);
     DetectionScore score =
         ScoreFindings(report->findings, item.ground_truth);
-    fleet_tp += score.true_positives;
-    fleet_fn += score.false_negatives;
-    fleet_fp += score.false_positives + score.safe_twin_hits;
-    table.AddRow({label, std::string(ArchName(binary->arch)),
-                  std::string(PackingName(item.spec.packing)), "ok",
+    im.score = score;
+    if (report->complete) {
+      // Only complete images count toward the exit code: an image that
+      // hit its budget legitimately under-reports, which is triage
+      // work ("raise the budget"), not a detection bug.
+      ++complete_images;
+      fleet_tp += score.true_positives;
+      fleet_fn += score.false_negatives;
+      fleet_fp += score.false_positives + score.safe_twin_hits;
+    }
+    table.AddRow({im.label, std::string(ArchName(binary->arch)),
+                  im.packing, "ok", report->complete ? "yes" : "NO",
                   std::to_string(report->analyzed_functions),
                   std::to_string(report->findings.size()),
                   std::to_string(score.true_positives),
                   std::to_string(score.false_positives +
                                  score.safe_twin_hits),
                   std::to_string(score.false_negatives)});
+    images.push_back(std::move(im));
+    if (fail_fast && !report->complete) {
+      aborted = true;
+      break;
+    }
   }
   std::printf("%s\n", table.Render().c_str());
-  std::printf("fleet totals: TP=%zu FN=%zu FP=%zu; %zu image(s) resisted "
-              "extraction (vendor encryption), as in the paper's corpus "
-              "study\n",
-              fleet_tp, fleet_fn, fleet_fp, unextractable);
+  std::printf("fleet totals (over %zu complete image(s)): TP=%zu FN=%zu "
+              "FP=%zu; %zu image(s) resisted extraction (vendor "
+              "encryption), as in the paper's corpus study; %zu "
+              "incident(s)\n",
+              complete_images, fleet_tp, fleet_fn, fleet_fp, unextractable,
+              incidents.size());
+  for (const Incident& inc : incidents) {
+    std::printf("  incident: %s\n", inc.ToString().c_str());
+  }
 
+  // Detection quality is scored over complete images only; incidents
+  // are reported, not fatal (the whole point of the resilience layer).
+  // --fail-fast flips that contract for CI gating.
   int rc = (fleet_fn == 0 && fleet_fp == 0) ? 0 : 1;
+  if (fail_fast && (aborted || !incidents.empty())) rc = 1;
+  if (json_out) {
+    std::ofstream out(json_out, std::ios::trunc);
+    out << FleetToJson(images, incidents, fleet_tp, fleet_fn, fleet_fp,
+                       unextractable, complete_images)
+        << '\n';
+    if (!out.good()) {
+      DTAINT_LOG(obs::LogLevel::kError, "corpus",
+                 "cannot write fleet report to %s", json_out);
+      if (rc == 0) rc = 1;
+    }
+  }
   if (trace_out) {
     obs::Tracer::Global().Stop();
     if (!obs::Tracer::Global().WriteChromeJson(trace_out)) {

@@ -8,6 +8,14 @@
 //   dtaint_cli inspect <image.dtfw> [function]
 //   dtaint_cli scan <image.dtfw> [--json] [--no-alias]
 //              [--no-structsim] [--threads N] [--cache-dir DIR]
+//              [--deadline-ms MS] [--max-steps N] [--max-states N]
+//              [--max-expr-nodes N] [--fail-fast]
+//
+// Budget flags bound per-function analysis effort (0 = unlimited); a
+// function that exhausts its budget degrades to a conservative summary
+// and the scan continues, flagging the report "complete": false.
+// --fail-fast makes an incomplete analysis exit nonzero (exit 4), for
+// CI jobs that want "no findings" to actually mean "nothing found".
 //
 // Observability flags (accepted by every command):
 //   --log-level error|warn|info|debug   stderr log threshold (warn)
@@ -150,9 +158,9 @@ Result<Binary> LoadFirstBinary(const std::string& path,
   if (blob.empty()) return NotFound("cannot read " + path);
   // Accept either a firmware image or a bare DTBIN binary.
   if (BinaryLoader::LooksLikeBinary(blob)) {
-    return BinaryLoader::Load(blob);
+    return BinaryLoader::Load(blob, path);
   }
-  auto extracted = FirmwareExtractor::Extract(blob);
+  auto extracted = FirmwareExtractor::Extract(blob, path);
   if (!extracted.ok()) return extracted.status();
   if (print_rootfs) {
     std::printf("%s %s v%s (%u), %zu files:\n",
@@ -169,10 +177,11 @@ Result<Binary> LoadFirstBinary(const std::string& path,
     }
   }
   if (extracted->executable_paths.empty()) {
-    return NotFound("no executables in image");
+    return NotFound(path + ": no executables in image");
   }
-  return BinaryLoader::Load(
-      extracted->image.FindFile(extracted->executable_paths[0])->bytes);
+  const std::string& exec_path = extracted->executable_paths[0];
+  return BinaryLoader::Load(extracted->image.FindFile(exec_path)->bytes,
+                            path + ":" + exec_path);
 }
 
 int CmdExtract(int argc, char** argv) {
@@ -262,6 +271,18 @@ int CmdScan(int argc, char** argv) {
   if (const char* threads = FlagValue(argc, argv, "--threads")) {
     config.interproc.num_threads = atoi(threads);
   }
+  if (const char* v = FlagValue(argc, argv, "--deadline-ms")) {
+    config.interproc.budget.deadline_ms = atof(v);
+  }
+  if (const char* v = FlagValue(argc, argv, "--max-steps")) {
+    config.interproc.budget.max_steps = std::strtoull(v, nullptr, 10);
+  }
+  if (const char* v = FlagValue(argc, argv, "--max-states")) {
+    config.interproc.budget.max_states = std::strtoull(v, nullptr, 10);
+  }
+  if (const char* v = FlagValue(argc, argv, "--max-expr-nodes")) {
+    config.interproc.budget.max_expr_nodes = std::strtoull(v, nullptr, 10);
+  }
   std::optional<SummaryCache> cache;
   if (const char* dir = FlagValue(argc, argv, "--cache-dir")) {
     CacheConfig cache_config;
@@ -280,10 +301,14 @@ int CmdScan(int argc, char** argv) {
     std::printf("%s\n", ReportToJson(*report).c_str());
   } else {
     std::printf("%s: %zu functions, %zu sinks, %.2fs; %zu vulnerable "
-                "path(s)\n",
+                "path(s)%s\n",
                 report->binary_name.c_str(), report->analyzed_functions,
                 report->sink_count, report->total_seconds,
-                report->findings.size());
+                report->findings.size(),
+                report->complete ? "" : "  [INCOMPLETE]");
+    for (const Incident& inc : report->incidents) {
+      std::printf("  incident: %s\n", inc.ToString().c_str());
+    }
     for (size_t i = 0; i < report->findings.size(); ++i) {
       std::printf("[%zu] %s\n", i + 1,
                   report->findings[i].Summary().c_str());
@@ -301,6 +326,14 @@ int CmdScan(int argc, char** argv) {
                "%zu corrupt, %zu stored",
                cs.hits, cs.misses, cs.disk_hits, cs.corrupt_entries,
                cs.stores);
+  }
+  if (HasFlag(argc, argv, "--fail-fast") && !report->complete) {
+    DTAINT_LOG(obs::LogLevel::kError, "cli",
+               "analysis incomplete (%zu incident(s), %zu degraded "
+               "function(s), %zu suppressed finding(s)) and --fail-fast set",
+               report->incidents.size(), report->degraded_functions,
+               report->suppressed_findings);
+    return 4;
   }
   return report->findings.empty() ? 0 : 3;  // CI-friendly exit code
 }

@@ -1,5 +1,8 @@
 #include "src/binary/loader.h"
 
+#include <fstream>
+
+#include "src/resilience/fault.h"
 #include "src/util/hash.h"
 
 namespace dtaint {
@@ -66,12 +69,22 @@ bool BinaryLoader::LooksLikeBinary(std::span<const uint8_t> bytes) {
          bytes[2] == 'B' && bytes[3] == '1';
 }
 
-Result<Binary> BinaryLoader::Load(std::span<const uint8_t> bytes) {
+Result<Binary> BinaryLoader::Load(std::span<const uint8_t> bytes,
+                                  std::string_view origin) {
+  // Every error names the input and the byte offset the parse died at:
+  // "cgibin.bin: section payload truncated at offset 142". Incident
+  // logs from a fleet scan are actionable without replaying the parse.
+  const std::string where =
+      origin.empty() ? std::string() : std::string(origin) + ": ";
+  if (FaultPlan::Global().ShouldFail(FaultSite::kLoad, origin)) {
+    return Internal(where + "injected load fault");
+  }
   if (!LooksLikeBinary(bytes)) {
-    return CorruptData("missing DTB1 magic");
+    return CorruptData(where + "missing DTB1 magic at offset 0");
   }
   if (bytes.size() < 12 + 8) {
-    return CorruptData("image truncated");
+    return CorruptData(where + "image truncated (" +
+                       std::to_string(bytes.size()) + " bytes)");
   }
   // Verify trailing checksum over everything before it.
   size_t body_size = bytes.size() - 8;
@@ -79,14 +92,18 @@ Result<Binary> BinaryLoader::Load(std::span<const uint8_t> bytes) {
   for (int i = 7; i >= 0; --i) want = (want << 8) | bytes[body_size + i];
   uint64_t got = Fnv1a(bytes.subspan(0, body_size));
   if (want != got) {
-    return CorruptData("checksum mismatch (corrupted image)");
+    return CorruptData(where + "checksum mismatch (corrupted image)");
   }
 
   Reader r(bytes.subspan(0, body_size));
+  auto corrupt = [&](const std::string& what) {
+    return CorruptData(where + what + " at offset " +
+                       std::to_string(r.pos()));
+  };
   (void)r.Bytes(4);  // magic, already checked
   uint8_t arch_raw = r.U8();
   if (arch_raw > static_cast<uint8_t>(Arch::kDtMips)) {
-    return CorruptData("unknown architecture tag");
+    return corrupt("unknown architecture tag");
   }
   Binary bin;
   bin.arch = static_cast<Arch>(arch_raw);
@@ -97,16 +114,16 @@ Result<Binary> BinaryLoader::Load(std::span<const uint8_t> bytes) {
   uint32_t n_sections = r.U32();
   uint32_t n_symbols = r.U32();
   uint32_t n_imports = r.U32();
-  if (!r.ok()) return CorruptData("header truncated");
+  if (!r.ok()) return corrupt("header truncated");
   if (n_sections > 64 || n_symbols > 1u << 20 || n_imports > 4096) {
-    return CorruptData("implausible table sizes");
+    return corrupt("implausible table sizes");
   }
 
   for (uint32_t i = 0; i < n_sections; ++i) {
     Section s;
     uint8_t kind = r.U8();
     if (kind > static_cast<uint8_t>(SectionKind::kBss)) {
-      return CorruptData("bad section kind");
+      return corrupt("bad section kind");
     }
     s.kind = static_cast<SectionKind>(kind);
     s.name = r.Str();
@@ -114,9 +131,9 @@ Result<Binary> BinaryLoader::Load(std::span<const uint8_t> bytes) {
     s.size = r.U32();
     uint32_t payload = r.U32();
     if (!r.ok() || payload > r.remaining()) {
-      return CorruptData("section payload truncated");
+      return corrupt("section payload truncated");
     }
-    if (payload > s.size) return CorruptData("payload larger than section");
+    if (payload > s.size) return corrupt("payload larger than section");
     s.bytes = r.Bytes(payload);
     bin.sections.push_back(std::move(s));
   }
@@ -134,18 +151,46 @@ Result<Binary> BinaryLoader::Load(std::span<const uint8_t> bytes) {
     imp.stub_addr = r.U32();
     bin.imports.push_back(std::move(imp));
   }
-  if (!r.ok()) return CorruptData("tables truncated");
+  if (!r.ok()) return corrupt("tables truncated");
 
-  // Structural sanity: symbols must point into .text.
+  // Structural sanity.
+  // Mapped sections must not overlap in the address space — an
+  // overlapping layout lets one section's bytes shadow another's,
+  // which corrupts concretized data loads downstream.
+  for (size_t i = 0; i < bin.sections.size(); ++i) {
+    const Section& a = bin.sections[i];
+    uint64_t a_end = uint64_t{a.addr} + a.size;
+    for (size_t j = i + 1; j < bin.sections.size(); ++j) {
+      const Section& b = bin.sections[j];
+      uint64_t b_end = uint64_t{b.addr} + b.size;
+      if (a.addr < b_end && b.addr < a_end && a.size > 0 && b.size > 0) {
+        return CorruptData(where + "overlapping sections: " + a.name +
+                           " and " + b.name);
+      }
+    }
+  }
+  // Symbols must point into .text. 64-bit arithmetic: addr + size on
+  // a hostile input can wrap uint32 and sneak past a 32-bit compare.
   const Section* text = bin.FindSection(".text");
-  if (!text) return CorruptData("no .text section");
+  if (!text) return CorruptData(where + "no .text section");
+  uint64_t text_end = uint64_t{text->addr} + text->size;
   for (const Symbol& sym : bin.symbols) {
     if (sym.is_function &&
-        (sym.addr < text->addr || sym.addr + sym.size > text->addr + text->size)) {
-      return CorruptData("function symbol outside .text: " + sym.name);
+        (sym.addr < text->addr ||
+         uint64_t{sym.addr} + sym.size > text_end)) {
+      return CorruptData(where + "function symbol outside .text: " +
+                         sym.name);
     }
   }
   return bin;
+}
+
+Result<Binary> BinaryLoader::LoadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFound(path + ": cannot open file");
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  return Load(bytes, path);
 }
 
 }  // namespace dtaint

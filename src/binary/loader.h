@@ -6,6 +6,8 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
+#include <string_view>
 
 #include "src/binary/binary.h"
 #include "src/util/status.h"
@@ -14,8 +16,15 @@ namespace dtaint {
 
 class BinaryLoader {
  public:
-  /// Parses and validates a serialized DTBIN image.
-  static Result<Binary> Load(std::span<const uint8_t> bytes);
+  /// Parses and validates a serialized DTBIN image. `origin` (a file
+  /// path or firmware-member path) is woven into every error message
+  /// together with the byte offset the parse failed at, so a fleet
+  /// scan's incident log pinpoints the bad input without re-parsing.
+  static Result<Binary> Load(std::span<const uint8_t> bytes,
+                             std::string_view origin = {});
+
+  /// Reads `path` from disk and parses it, with the path as origin.
+  static Result<Binary> LoadFile(const std::string& path);
 
   /// Quick magic check without a full parse (used by the firmware
   /// extractor to pick executable files out of a root filesystem).

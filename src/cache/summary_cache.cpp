@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "src/cache/summary_codec.h"
+#include "src/resilience/fault.h"
 
 namespace dtaint {
 
@@ -154,6 +155,9 @@ SummaryCache::SummaryCache(CacheConfig config)
       m_disk_hits_(obs::MetricsRegistry::Global().counter("cache.disk_hits")),
       m_corrupt_(
           obs::MetricsRegistry::Global().counter("cache.corrupt_entries")),
+      m_io_retries_(obs::MetricsRegistry::Global().counter("cache.io_retries")),
+      m_io_failures_(
+          obs::MetricsRegistry::Global().counter("cache.io_failures")),
       m_memory_bytes_(
           obs::MetricsRegistry::Global().gauge("cache.memory_bytes")) {}
 
@@ -184,7 +188,31 @@ std::optional<FunctionSummary> SummaryCache::Lookup(const Hash128& key) {
   }
 
   if (!config_.disk_dir.empty()) {
-    std::vector<uint8_t> blob = ReadFileBytes(PathFor(key));
+    // Transient read errors (NFS hiccup, throttled disk — modeled by
+    // the cache_read fault site) are retried with backoff; if the read
+    // never succeeds this entry is simply a miss.
+    const std::string path = PathFor(key);
+    std::vector<uint8_t> blob;
+    int retries = 0;
+    bool read_ok = RetryIo(
+        config_.retry,
+        [&] {
+          if (FaultPlan::Global().ShouldFail(FaultSite::kCacheRead, path)) {
+            return false;
+          }
+          blob = ReadFileBytes(path);
+          return true;
+        },
+        &retries);
+    if (retries > 0) {
+      stats_.io_retries += static_cast<size_t>(retries);
+      m_io_retries_.Add(static_cast<uint64_t>(retries));
+    }
+    if (!read_ok) {
+      ++stats_.io_failures;
+      m_io_failures_.Add();
+      blob.clear();
+    }
     if (!blob.empty()) {
       auto decoded = DecodeSummary(blob);
       if (decoded.ok()) {
@@ -217,8 +245,30 @@ void SummaryCache::Store(const Hash128& key, const FunctionSummary& summary) {
     std::error_code ec;
     std::filesystem::create_directories(config_.disk_dir, ec);
     if (!ec) {
-      WriteFileAtomic(PathFor(key), blob);
-      if (config_.write_debug_json) {
+      // Same transient-error policy as reads: retry with backoff, then
+      // give up on the disk tier for this entry (the memory insert
+      // below still happens — the cache never blocks a store).
+      const std::string path = PathFor(key);
+      int retries = 0;
+      bool wrote = RetryIo(
+          config_.retry,
+          [&] {
+            if (FaultPlan::Global().ShouldFail(FaultSite::kCacheWrite,
+                                               path)) {
+              return false;
+            }
+            return WriteFileAtomic(path, blob);
+          },
+          &retries);
+      if (retries > 0) {
+        stats_.io_retries += static_cast<size_t>(retries);
+        m_io_retries_.Add(static_cast<uint64_t>(retries));
+      }
+      if (!wrote) {
+        ++stats_.io_failures;
+        m_io_failures_.Add();
+      }
+      if (wrote && config_.write_debug_json) {
         std::string json = SummaryToDebugJson(summary);
         WriteFileAtomic(
             config_.disk_dir + "/" + key.ToHex() + ".json",

@@ -37,6 +37,7 @@
 
 #include "src/cfg/function.h"
 #include "src/obs/metrics.h"
+#include "src/resilience/retry.h"
 #include "src/symexec/defpairs.h"
 #include "src/symexec/engine.h"
 #include "src/util/hash.h"
@@ -53,6 +54,10 @@ struct CacheConfig {
   /// Also write a human-readable `<key>.json` dump beside each disk
   /// entry (triage aid; never read back).
   bool write_debug_json = false;
+  /// Bounded retry-with-backoff for disk-tier reads and writes. After
+  /// the final attempt fails the cache falls back to cache-off for
+  /// that entry (miss on read, memory-only on write).
+  RetryPolicy retry;
 };
 
 /// Counters: monotonic over the cache's lifetime. `hits` counts every
@@ -68,6 +73,8 @@ struct CacheStats {
   size_t corrupt_entries = 0;
   size_t memory_entries = 0;
   size_t memory_bytes = 0;
+  size_t io_retries = 0;   // disk operations that needed a re-try
+  size_t io_failures = 0;  // disk operations abandoned after all tries
 };
 
 class SummaryCache {
@@ -113,6 +120,8 @@ class SummaryCache {
   obs::Counter& m_stores_;
   obs::Counter& m_disk_hits_;
   obs::Counter& m_corrupt_;
+  obs::Counter& m_io_retries_;
+  obs::Counter& m_io_failures_;
   obs::Gauge& m_memory_bytes_;
 };
 

@@ -146,8 +146,16 @@ Result<Program> CfgBuilder::BuildProgram() const {
   prog.binary = &binary_;
   for (const Symbol& sym : binary_.symbols) {
     if (!sym.is_function || sym.size == 0) continue;
+    if (FaultPlan::Global().ShouldFail(FaultSite::kLift, sym.name)) {
+      prog.lift_failures.emplace_back(
+          sym.name, Internal("injected lift fault: " + sym.name));
+      continue;
+    }
     auto fn = BuildFunction(sym);
-    if (!fn.ok()) return fn.status();
+    if (!fn.ok()) {
+      prog.lift_failures.emplace_back(sym.name, fn.status());
+      continue;
+    }
     prog.fn_by_addr[sym.addr] = sym.name;
     prog.functions.emplace(sym.name, std::move(*fn));
   }

@@ -14,6 +14,7 @@
 #include "src/binary/binary.h"
 #include "src/cfg/function.h"
 #include "src/lifter/lifter.h"
+#include "src/resilience/fault.h"
 #include "src/util/status.h"
 
 namespace dtaint {
@@ -23,6 +24,11 @@ struct Program {
   const Binary* binary = nullptr;
   std::map<std::string, Function> functions;  // by name
   std::map<uint32_t, std::string> fn_by_addr;
+  /// Functions whose CFG recovery failed (bad encoding, or an injected
+  /// `lift` fault). They are simply absent from `functions` — one
+  /// unliftable function must not sink the binary — and the detector
+  /// reports each as an incident and marks the analysis incomplete.
+  std::vector<std::pair<std::string, Status>> lift_failures;
 
   const Function* FunctionAt(uint32_t addr) const {
     auto it = fn_by_addr.find(addr);
@@ -49,7 +55,9 @@ class CfgBuilder {
   /// Builds the CFG of a single function symbol.
   Result<Function> BuildFunction(const Symbol& symbol) const;
 
-  /// Builds every function symbol in the binary.
+  /// Builds every function symbol in the binary. Per-function lift
+  /// failures are isolated: the function is skipped and recorded in
+  /// Program::lift_failures rather than failing the whole program.
   Result<Program> BuildProgram() const;
 
  private:

@@ -22,8 +22,12 @@ bool IsPointerValue(const SymRef& value, const TypeMap& types) {
   }
 }
 
-AliasResult AliasReplace(FunctionSummary& summary) {
+AliasResult AliasReplace(FunctionSummary& summary, BudgetTracker* budget) {
   AliasResult result;
+  if (budget && budget->exhausted()) {
+    summary.truncated = true;
+    return result;
+  }
 
   // Phase 1 (Alg. 1 lines 3-12): collect ALIAS facts and the DOP set of
   // memory definitions whose location mentions pointers.
@@ -60,6 +64,10 @@ AliasResult AliasReplace(FunctionSummary& summary) {
   for (const DopEntry& entry : dop) {
     for (const SymRef& ptr : entry.ptrs) {
       for (const AliasFact& fact : result.facts) {
+        if (budget && budget->ChargeStep()) {
+          summary.truncated = true;
+          goto done;
+        }
         if (!SymExpr::Equal(fact.base, ptr)) continue;
         // Do not rewrite a location with an alias derived from itself
         // (deref(X) = X + k would loop).
@@ -74,6 +82,7 @@ AliasResult AliasReplace(FunctionSummary& summary) {
       }
     }
   }
+done:
   result.pairs_added = additions.size();
   for (DefPair& dp : additions) {
     summary.def_pairs.push_back(std::move(dp));

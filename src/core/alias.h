@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "src/resilience/budget.h"
 #include "src/symexec/defpairs.h"
 
 namespace dtaint {
@@ -35,8 +36,13 @@ struct AliasResult {
 
 /// Runs Algorithm 1 over a function summary *in place*: discovers alias
 /// facts from its definition pairs and appends replaced (new_d, u)
-/// pairs. `types` supplies the pointer-type evidence for `u`.
-AliasResult AliasReplace(FunctionSummary& summary);
+/// pairs. `types` supplies the pointer-type evidence for `u`. The
+/// rewrite phase is cubic in the worst case (pairs × pointers × facts),
+/// so it charges the optional budget tracker cooperatively; on
+/// exhaustion the rewrite stops early and the summary is marked
+/// truncated (already-added pairs are kept — they are all sound).
+AliasResult AliasReplace(FunctionSummary& summary,
+                         BudgetTracker* budget = nullptr);
 
 /// True when the value expression is known or strongly suspected to be
 /// a pointer: typed as one, or structurally rooted at the stack, a

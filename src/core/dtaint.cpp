@@ -1,10 +1,12 @@
 #include "src/core/dtaint.h"
 
+#include <algorithm>
 #include <set>
 
 #include "src/obs/log.h"
 #include "src/obs/stopwatch.h"
 #include "src/obs/trace.h"
+#include "src/resilience/fault.h"
 #include "src/symexec/intern.h"
 #include "src/util/strings.h"
 
@@ -48,6 +50,17 @@ Result<AnalysisReport> DTaint::AnalyzeFunctions(
   }
   Program program = std::move(*program_or);
   lift_span.Finish();
+  for (const auto& [fn_name, status] : program.lift_failures) {
+    Incident incident;
+    incident.binary = report.binary_name;
+    incident.phase = "lift";
+    incident.detail = fn_name;
+    incident.status = status;
+    report.incidents.push_back(std::move(incident));
+    DTAINT_LOG(obs::LogLevel::kWarn, "dtaint", "%s: lift skipped %s: %s",
+               report.binary_name.c_str(), fn_name.c_str(),
+               status.ToString().c_str());
+  }
 
   report.functions = program.functions.size();
   report.blocks = program.TotalBlocks();
@@ -141,6 +154,10 @@ Result<AnalysisReport> DTaint::AnalyzeFunctions(
   report.call_graph_edges = program.CallEdgeCount();
 
   // 4. Sink-to-source path search + sanitization checks.
+  if (FaultPlan::Global().ShouldFail(FaultSite::kPathfinder,
+                                     report.binary_name)) {
+    return Internal("injected pathfinder fault: " + report.binary_name);
+  }
   PathFinder finder(program, analysis, config_.pathfinder);
   report.sink_count = finder.SinkCount();
   obs::Span pathfind_span(tracer, "phase", "pathfind");
@@ -151,14 +168,39 @@ Result<AnalysisReport> DTaint::AnalyzeFunctions(
   obs::Span sanitize_span(tracer, "phase", "sanitize");
   std::vector<TaintPath> vulnerable = FilterVulnerable(paths);
   sanitize_span.Finish();
-  report.vulnerable_paths = vulnerable.size();
   report.pathfinder_stats.sanitized_away =
-      report.total_paths - report.vulnerable_paths;
+      report.total_paths - vulnerable.size();
+  // Paths riding on degraded (over-approximated) flow are withheld:
+  // reporting them would let a *smaller* budget produce *more*
+  // findings. They count as suppressed and flip `complete` instead.
+  size_t before_suppression = vulnerable.size();
+  vulnerable.erase(std::remove_if(vulnerable.begin(), vulnerable.end(),
+                                  [](const TaintPath& p) {
+                                    return p.crossed_degraded;
+                                  }),
+                   vulnerable.end());
+  report.suppressed_findings = before_suppression - vulnerable.size();
+  report.vulnerable_paths = vulnerable.size();
   registry.counter("sanitize.paths_sanitized")
       .Add(report.pathfinder_stats.sanitized_away);
+  registry.counter("resilience.findings_suppressed")
+      .Add(report.suppressed_findings);
   for (TaintPath& path : vulnerable) {
     report.findings.push_back({std::move(path)});
   }
+  report.degraded_functions = report.interproc_stats.degraded_functions;
+  for (const Incident& incident : report.interproc_stats.incidents) {
+    report.incidents.push_back(incident);
+  }
+  // Note: the engine's own max_paths truncation (FunctionSummary::
+  // truncated) fires on nearly every real binary at default config and
+  // is the normal bounded-exploration baseline, so it does NOT flip
+  // `complete` — only the resilience machinery (lift failures, budget
+  // degradation, finding suppression) and pathfinder depth pruning do.
+  report.complete = report.incidents.empty() &&
+                    report.suppressed_findings == 0 &&
+                    report.degraded_functions == 0 &&
+                    report.pathfinder_stats.pruned_by_depth == 0;
   report.ddg_seconds = t_ddg.Seconds();
   report.total_seconds = t_total.Seconds();
   // Fold the path-search/sanitization expression traffic into the

@@ -77,6 +77,22 @@ struct AnalysisReport {
   /// this Analyze call; gauges/histograms as current values). Embedded
   /// in the JSON report as the "metrics" object.
   obs::MetricsSnapshot metrics;
+
+  // Resilience accounting (PR: budgets, degraded summaries, error
+  // isolation). `complete` is the one-bit triage answer: did any
+  // effort cap, degradation, lift failure, or suppression fire? When
+  // false the absence of findings is NOT a clean bill of health.
+  bool complete = true;
+  /// Functions replaced by the conservative degraded summary (last
+  /// bottom-up pass).
+  size_t degraded_functions = 0;
+  /// Vulnerable paths withheld because they crossed degraded
+  /// (over-approximated) data flow. Guarantees a tight-budget run
+  /// reports a subset of a generous-budget run's findings.
+  size_t suppressed_findings = 0;
+  /// Isolated per-function failures: lift errors and budget
+  /// exhaustions, with phase/detail/status/budget counters.
+  std::vector<Incident> incidents;
 };
 
 class DTaint {

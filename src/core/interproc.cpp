@@ -7,6 +7,7 @@
 
 #include "src/cache/summary_cache.h"
 #include "src/core/alias.h"
+#include "src/resilience/fault.h"
 #include "src/symexec/intern.h"
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
@@ -106,6 +107,9 @@ ProgramAnalysis RunBottomUp(const Program& program, const CallGraph& graph,
   // worker pool writes without synchronization.
   std::vector<double> fn_seconds(order.size(), 0.0);
   std::vector<uint8_t> fn_cached(order.size(), 0);
+  // Budget counters per degraded slot, turned into Incident records
+  // after the pool joins (cause kNone = not degraded).
+  std::vector<BudgetCounters> fn_budget(order.size());
   SummaryCache* cache = config.cache;
   Hash128 engine_fp;
   uint64_t cache_hits_before = 0;
@@ -123,10 +127,17 @@ ProgramAnalysis RunBottomUp(const Program& program, const CallGraph& graph,
   // apply_alias is part of the engine fingerprint — its output is just
   // as content-addressable. Caching the post-alias summary keeps the
   // whole rewrite off the warm path.
-  auto produce = [&](const Function& fn) {
-    FunctionSummary summary = engine.Analyze(fn);
-    if (config.apply_alias) {
-      summary.alias_pairs = AliasReplace(summary).pairs_added;
+  auto produce = [&](const Function& fn, BudgetTracker& tracker) {
+    if (FaultPlan::Global().ShouldFail(FaultSite::kSummary, fn.name)) {
+      tracker.MarkInjected();
+    }
+    FunctionSummary summary = engine.Analyze(fn, &tracker);
+    if (config.apply_alias && !summary.degraded) {
+      summary.alias_pairs = AliasReplace(summary, &tracker).pairs_added;
+      // The alias rewrite can be the step that exhausts the budget;
+      // degrade the whole function then — a partially-aliased summary
+      // would make findings depend on where the budget tripped.
+      if (tracker.exhausted()) summary = MakeDegradedSummary(fn);
     }
     return summary;
   };
@@ -135,6 +146,7 @@ ProgramAnalysis RunBottomUp(const Program& program, const CallGraph& graph,
     if (!fn) return;
     obs::Span span(tracer, "function", order[i]);
     obs::Stopwatch watch;
+    BudgetTracker tracker(config.budget);
     if (cache) {
       Hash128 key = FunctionKey(*fn, engine_fp);
       if (auto cached = cache->Lookup(key)) {
@@ -143,11 +155,15 @@ ProgramAnalysis RunBottomUp(const Program& program, const CallGraph& graph,
         fn_seconds[i] = watch.Seconds();
         return;
       }
-      base[i] = produce(*fn);
-      cache->Store(key, base[i]);
+      base[i] = produce(*fn, tracker);
+      // Degraded summaries are budget artifacts, not function content —
+      // never persist them, so a rerun with a larger budget (or the
+      // fault removed) re-analyzes at full effort.
+      if (!base[i].degraded) cache->Store(key, base[i]);
     } else {
-      base[i] = produce(*fn);
+      base[i] = produce(*fn, tracker);
     }
+    if (base[i].degraded) fn_budget[i] = tracker.counters();
     fn_seconds[i] = watch.Seconds();
   };
 
@@ -178,6 +194,19 @@ ProgramAnalysis RunBottomUp(const Program& program, const CallGraph& graph,
       for (std::thread& t : pool) t.join();
     }
     analysis.stats.summary_seconds = phase1.Seconds();
+  }
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (fn_budget[i].exhausted_by == BudgetExhaustion::kNone) continue;
+    Incident incident;
+    incident.binary = engine.binary().soname;
+    incident.phase = "summary";
+    incident.detail = order[i];
+    incident.status = OutOfRange(
+        "analysis budget exhausted (" +
+        std::string(BudgetExhaustionName(fn_budget[i].exhausted_by)) +
+        "); degraded summary substituted");
+    incident.budget = fn_budget[i];
+    analysis.stats.incidents.push_back(std::move(incident));
   }
   {
     obs::Histogram& fn_micros = registry.histogram("summary.function_micros");
@@ -245,6 +274,12 @@ ProgramAnalysis RunBottomUp(const Program& program, const CallGraph& graph,
         const FunctionSummary& callee = callee_it->second;
 
         // -- ReplaceRetVariable: resolve ret_{cs} in the caller --------
+        // A return value minted by a degraded callee (directly, or
+        // transitively via its own callees) is an over-approximation:
+        // taint the substituted pairs with the degraded flag and mark
+        // the caller's returns contaminated, so the path finder can
+        // suppress flows built on guessed data.
+        bool callee_ret_degraded = callee.degraded || callee.ret_degraded;
         SymRef ret_sym = SymExpr::Ret(call.callsite);
         SymRef ret_value = RepresentativeReturn(callee);
         if (ret_value) {
@@ -260,12 +295,16 @@ ProgramAnalysis RunBottomUp(const Program& program, const CallGraph& graph,
               dp.u = SymExpr::Replace(dp.u, ret_sym, ret_value);
               touched = true;
             }
-            if (touched) ++analysis.stats.rets_replaced;
+            if (touched) {
+              ++analysis.stats.rets_replaced;
+              if (callee_ret_degraded) dp.degraded = true;
+            }
           }
           for (SymRef& rv : summary.return_values) {
             if (rv && rv->Contains(ret_sym)) {
               rv = SymExpr::Replace(rv, ret_sym, ret_value);
               ++analysis.stats.rets_replaced;
+              if (callee_ret_degraded) summary.ret_degraded = true;
             }
           }
         }
@@ -281,6 +320,7 @@ ProgramAnalysis RunBottomUp(const Program& program, const CallGraph& graph,
           linked.u = RehashHeap(linked.u, call.callsite);
           linked.site = dp->site;        // original defining site
           linked.path_id = call.path_id; // caller's path context
+          linked.degraded = dp->degraded || callee.degraded;
           imported_defs.push_back(std::move(linked));
           ++imported;
           ++analysis.stats.defs_propagated;
@@ -311,11 +351,14 @@ ProgramAnalysis RunBottomUp(const Program& program, const CallGraph& graph,
         std::make_move_iterator(imported_uses.end()));
 
     ++analysis.stats.functions_processed;
+    if (summary.degraded) ++analysis.stats.degraded_functions;
+    if (summary.truncated) ++analysis.stats.truncated_functions;
     analysis.summaries.emplace(name, std::move(summary));
   }
   link_span.Finish();
 
   registry.counter("summary.functions").Add(analysis.stats.functions_processed);
+  registry.counter("summary.degraded").Add(analysis.stats.degraded_functions);
   registry.counter("link.defs_propagated").Add(analysis.stats.defs_propagated);
   registry.counter("link.uses_forwarded").Add(analysis.stats.uses_forwarded);
   registry.counter("link.rets_replaced").Add(analysis.stats.rets_replaced);

@@ -28,6 +28,8 @@
 
 #include "src/cfg/callgraph.h"
 #include "src/cfg/cfg_builder.h"
+#include "src/resilience/budget.h"
+#include "src/resilience/incident.h"
 #include "src/symexec/defpairs.h"
 #include "src/symexec/engine.h"
 
@@ -61,6 +63,11 @@ struct InterprocConfig {
   /// Size of the hot-function profile (top functions by summary-
   /// analysis wall time) kept in InterprocStats. 0 disables profiling.
   size_t hot_function_count = 10;
+  /// Per-function analysis budget (0 limits = unbounded). Each worker
+  /// charges its own BudgetTracker during symbolic exploration and the
+  /// alias rewrite; an exhausted function yields the conservative
+  /// degraded summary (never cached) and an Incident in the stats.
+  AnalysisBudget budget;
 };
 
 /// One entry of the hot-function profile: where summary-production time
@@ -100,6 +107,15 @@ struct InterprocStats {
   /// Top functions by summary-production time this pass, most expensive
   /// first (bounded by InterprocConfig::hot_function_count).
   std::vector<HotFunction> hot_functions;
+  /// Functions that exhausted their budget (or hit an injected summary
+  /// fault) and were replaced by the conservative degraded summary.
+  size_t degraded_functions = 0;
+  /// Functions whose exploration hit any internal path/step cap
+  /// (engine truncation or degraded — analysis incomplete either way).
+  size_t truncated_functions = 0;
+  /// One record per degraded function: phase "summary", the function
+  /// name, and the budget counters at exhaustion.
+  std::vector<Incident> incidents;
 };
 
 /// Whole-program analysis state after the bottom-up pass: per-function

@@ -94,9 +94,11 @@ class Tracer {
             const std::string& taint_source) {
     path.source_name = taint_source;
     path.source_site = taint_site;
+    if (degraded_hops_ > 0) path.crossed_degraded = true;
     auto key = std::make_tuple(path.sink_site, path.source_site,
                                path.sink_name);
     if (!emitted_.insert(key).second) return;
+    if (path.crossed_degraded) ++stats_.degraded_paths;
     out_.push_back(std::move(path));
     ++paths_found_for_sink_;
     ++stats_.paths_found;
@@ -145,7 +147,9 @@ class Tracer {
         // The defined value replaces the matched deref inside the
         // expression; for region matches the taint covers the part.
         SymRef next = region ? dp.u : SymExpr::Replace(expr, part, dp.u);
+        if (dp.degraded) ++degraded_hops_;
         Walk(fn, next, path, visited, depth - 1);
+        if (dp.degraded) --degraded_hops_;
         path.hops.pop_back();
         if (paths_found_for_sink_ >= config_.max_paths_per_sink) {
           path.traced_exprs.pop_back();
@@ -198,6 +202,9 @@ class Tracer {
   std::set<std::tuple<uint32_t, uint32_t, std::string>> emitted_;
   PathFinderStats& stats_;
   int paths_found_for_sink_ = 0;
+  /// Degraded def pairs currently on the walk stack; any emit while
+  /// nonzero marks the path crossed_degraded.
+  int degraded_hops_ = 0;
 };
 
 }  // namespace
@@ -288,6 +295,7 @@ std::vector<TaintPath> PathFinder::FindAll() const {
         seed.sink_arg = dp.u;
         seed.sink_store_addr = dp.d->lhs();
         seed.constraints = dp.constraints;
+        seed.crossed_degraded = dp.degraded;
         seed.hops.push_back(
             {fn_name, dp.site, "loop copy " + dp.d->ToString()});
         tracer.TraceSink(fn_name, seed, {dp.u});

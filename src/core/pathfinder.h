@@ -55,6 +55,14 @@ struct TaintPath {
   /// Expressions the tainted value passed through (sink-side first);
   /// sanitization constraints may be phrased against any of them.
   std::vector<SymRef> traced_exprs;
+
+  /// True when any hop matched a definition pair marked `degraded`
+  /// (from a budget-exhausted callee's conservative summary). Such a
+  /// path rides on over-approximated data flow, not observed flow; the
+  /// detector suppresses it from findings and flags the report
+  /// incomplete instead — guaranteeing a tight-budget run never
+  /// reports paths a generous-budget run would not.
+  bool crossed_degraded = false;
 };
 
 struct PathFinderConfig {
@@ -71,6 +79,7 @@ struct PathFinderStats {
   size_t paths_explored = 0;   // backward Walk steps taken
   size_t pruned_by_depth = 0;  // walks cut short by the max_depth budget
   size_t paths_found = 0;      // distinct sink-to-source paths emitted
+  size_t degraded_paths = 0;   // of those, paths crossing degraded pairs
   /// Found paths the sanitization checker later ruled safe. The
   /// checker runs after FindAll, so the *driver* (AnalyzeBinary) fills
   /// this in; it stays 0 when PathFinder is used standalone.

@@ -2,6 +2,7 @@
 
 #include "src/binary/loader.h"
 #include "src/firmware/packer.h"
+#include "src/resilience/fault.h"
 #include "src/util/hash.h"
 
 namespace dtaint {
@@ -72,23 +73,30 @@ std::optional<size_t> FirmwareExtractor::FindMagic(
 }
 
 Result<ExtractionResult> FirmwareExtractor::Extract(
-    std::span<const uint8_t> blob) {
+    std::span<const uint8_t> blob, std::string_view origin) {
+  const std::string where =
+      origin.empty() ? std::string() : std::string(origin) + ": ";
+  if (FaultPlan::Global().ShouldFail(FaultSite::kExtract, origin)) {
+    return Internal(where + "injected extract fault");
+  }
   auto magic_off = FindMagic(blob);
   if (!magic_off) {
-    return NotFound("no firmware signature found in blob");
+    return NotFound(where + "no firmware signature found in blob");
   }
   Reader r(blob.subspan(*magic_off));
   (void)r.Bytes(4);  // magic
   uint8_t version = r.U8();
-  if (version != 1) return Unsupported("unsupported firmware format version");
+  if (version != 1) {
+    return Unsupported(where + "unsupported firmware format version");
+  }
   uint8_t packing_raw = r.U8();
   if (packing_raw > static_cast<uint8_t>(Packing::kUnknown)) {
-    return CorruptData("bad packing tag");
+    return CorruptData(where + "bad packing tag");
   }
   Packing packing = static_cast<Packing>(packing_raw);
   uint8_t arch_raw = r.U8();
   if (arch_raw > static_cast<uint8_t>(Arch::kDtMips)) {
-    return CorruptData("bad architecture tag");
+    return CorruptData(where + "bad architecture tag");
   }
   (void)r.U8();  // reserved
 
@@ -103,7 +111,7 @@ Result<ExtractionResult> FirmwareExtractor::Extract(
   uint64_t want_checksum = r.U64();
   uint32_t fs_size = r.U32();
   if (!r.ok() || fs_size > r.remaining()) {
-    return CorruptData("firmware header truncated");
+    return CorruptData(where + "firmware header truncated");
   }
   std::vector<uint8_t> fs = r.Bytes(fs_size);
 
@@ -116,26 +124,29 @@ Result<ExtractionResult> FirmwareExtractor::Extract(
       for (uint8_t& b : fs) b ^= kXorKey;
       break;
     case Packing::kEncrypted:
-      return Unsupported("vendor-encrypted filesystem (no key available)");
+      return Unsupported(where +
+                         "vendor-encrypted filesystem (no key available)");
     case Packing::kUnknown:
-      return Unsupported("unrecognized filesystem/compression format");
+      return Unsupported(where + "unrecognized filesystem/compression format");
   }
 
   uint64_t got_checksum =
       Fnv1a(std::span<const uint8_t>(fs.data(), fs.size()));
   if (got_checksum != want_checksum) {
-    return CorruptData("filesystem checksum mismatch after unpack");
+    return CorruptData(where + "filesystem checksum mismatch after unpack");
   }
 
   Reader fr(fs);
   uint32_t n_files = fr.U32();
-  if (n_files > 1u << 16) return CorruptData("implausible file count");
+  if (n_files > 1u << 16) {
+    return CorruptData(where + "implausible file count");
+  }
   for (uint32_t i = 0; i < n_files; ++i) {
     FirmwareFile f;
     f.path = fr.Str();
     uint32_t size = fr.U32();
     if (!fr.ok() || size > fr.remaining()) {
-      return CorruptData("file entry truncated: " + f.path);
+      return CorruptData(where + "file entry truncated: " + f.path);
     }
     f.bytes = fr.Bytes(size);
     if (BinaryLoader::LooksLikeBinary(f.bytes)) {
@@ -143,7 +154,7 @@ Result<ExtractionResult> FirmwareExtractor::Extract(
     }
     image.files.push_back(std::move(f));
   }
-  if (!fr.ok()) return CorruptData("filesystem table truncated");
+  if (!fr.ok()) return CorruptData(where + "filesystem table truncated");
   return result;
 }
 

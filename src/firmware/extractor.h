@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/firmware/image.h"
@@ -26,8 +27,11 @@ struct ExtractionResult {
 
 class FirmwareExtractor {
  public:
-  /// Extracts the first firmware image found in `blob`.
-  static Result<ExtractionResult> Extract(std::span<const uint8_t> blob);
+  /// Extracts the first firmware image found in `blob`. `origin` (the
+  /// blob's file name or fleet label) is woven into error messages so
+  /// corpus-scan incident logs name the offending image.
+  static Result<ExtractionResult> Extract(std::span<const uint8_t> blob,
+                                          std::string_view origin = {});
 
   /// Finds the offset of the DTFW magic, scanning like binwalk does.
   static std::optional<size_t> FindMagic(std::span<const uint8_t> blob);

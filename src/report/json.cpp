@@ -80,6 +80,49 @@ class JsonBuilder {
   bool just_keyed_ = false;
 };
 
+/// Emits one finding object (shared by ReportToJson and
+/// FindingsToJson so the two stay schema-identical).
+void AppendFinding(JsonBuilder& json, const Finding& finding) {
+  const TaintPath& path = finding.path;
+  json.BeginObject();
+  json.Key("class");
+  json.String(VulnClassName(path.vuln_class));
+  json.Key("sink");
+  json.String(path.sink_name);
+  json.Key("source");
+  json.String(path.source_name);
+  json.Key("function");
+  json.String(path.sink_function);
+  json.Key("sink_site");
+  json.String(HexStr(path.sink_site));
+  json.Key("source_site");
+  json.String(HexStr(path.source_site));
+  if (path.sink_arg) {
+    json.Key("sink_argument");
+    json.String(path.sink_arg->ToString());
+  }
+  json.Key("hops");
+  json.BeginArray();
+  for (const PathHop& hop : path.hops) {
+    json.BeginObject();
+    json.Key("function");
+    json.String(hop.function);
+    json.Key("site");
+    json.String(HexStr(hop.site));
+    json.Key("note");
+    json.String(hop.note);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("constraints");
+  json.BeginArray();
+  for (const PathConstraint& c : path.constraints) {
+    json.String(c.ToString());
+  }
+  json.EndArray();
+  json.EndObject();
+}
+
 }  // namespace
 
 std::string ReportToJson(const AnalysisReport& report) {
@@ -89,6 +132,8 @@ std::string ReportToJson(const AnalysisReport& report) {
   json.String(report.binary_name);
   json.Key("arch");
   json.String(ArchName(report.arch));
+  json.Key("complete");
+  json.Bool(report.complete);
 
   json.Key("shape");
   json.BeginObject();
@@ -162,9 +207,25 @@ std::string ReportToJson(const AnalysisReport& report) {
   json.Number(static_cast<uint64_t>(report.pathfinder_stats.pruned_by_depth));
   json.Key("paths_found");
   json.Number(static_cast<uint64_t>(report.pathfinder_stats.paths_found));
+  json.Key("degraded_paths");
+  json.Number(static_cast<uint64_t>(report.pathfinder_stats.degraded_paths));
   json.Key("sanitized_away");
   json.Number(static_cast<uint64_t>(report.pathfinder_stats.sanitized_away));
   json.EndObject();
+
+  json.Key("resilience");
+  json.BeginObject();
+  json.Key("degraded_functions");
+  json.Number(static_cast<uint64_t>(report.degraded_functions));
+  json.Key("truncated_functions");
+  json.Number(
+      static_cast<uint64_t>(report.interproc_stats.truncated_functions));
+  json.Key("suppressed_findings");
+  json.Number(static_cast<uint64_t>(report.suppressed_findings));
+  json.EndObject();
+
+  json.Key("incidents");
+  json.Raw(IncidentsToJson(report.incidents));
 
   json.Key("hot_functions");
   json.BeginArray();
@@ -186,47 +247,20 @@ std::string ReportToJson(const AnalysisReport& report) {
   json.Key("findings");
   json.BeginArray();
   for (const Finding& finding : report.findings) {
-    const TaintPath& path = finding.path;
-    json.BeginObject();
-    json.Key("class");
-    json.String(VulnClassName(path.vuln_class));
-    json.Key("sink");
-    json.String(path.sink_name);
-    json.Key("source");
-    json.String(path.source_name);
-    json.Key("function");
-    json.String(path.sink_function);
-    json.Key("sink_site");
-    json.String(HexStr(path.sink_site));
-    json.Key("source_site");
-    json.String(HexStr(path.source_site));
-    if (path.sink_arg) {
-      json.Key("sink_argument");
-      json.String(path.sink_arg->ToString());
-    }
-    json.Key("hops");
-    json.BeginArray();
-    for (const PathHop& hop : path.hops) {
-      json.BeginObject();
-      json.Key("function");
-      json.String(hop.function);
-      json.Key("site");
-      json.String(HexStr(hop.site));
-      json.Key("note");
-      json.String(hop.note);
-      json.EndObject();
-    }
-    json.EndArray();
-    json.Key("constraints");
-    json.BeginArray();
-    for (const PathConstraint& c : path.constraints) {
-      json.String(c.ToString());
-    }
-    json.EndArray();
-    json.EndObject();
+    AppendFinding(json, finding);
   }
   json.EndArray();
   json.EndObject();
+  return std::move(json).Take();
+}
+
+std::string FindingsToJson(const std::vector<Finding>& findings) {
+  JsonBuilder json;
+  json.BeginArray();
+  for (const Finding& finding : findings) {
+    AppendFinding(json, finding);
+  }
+  json.EndArray();
   return std::move(json).Take();
 }
 

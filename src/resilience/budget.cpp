@@ -1,0 +1,82 @@
+#include "src/resilience/budget.h"
+
+#include "src/symexec/intern.h"
+
+namespace dtaint {
+
+std::string_view BudgetExhaustionName(BudgetExhaustion cause) {
+  switch (cause) {
+    case BudgetExhaustion::kNone:
+      return "none";
+    case BudgetExhaustion::kDeadline:
+      return "deadline";
+    case BudgetExhaustion::kSteps:
+      return "steps";
+    case BudgetExhaustion::kStates:
+      return "states";
+    case BudgetExhaustion::kExprNodes:
+      return "expr_nodes";
+    case BudgetExhaustion::kInjected:
+      return "injected";
+  }
+  return "none";
+}
+
+BudgetTracker::BudgetTracker(const AnalysisBudget& limits)
+    : limits_(limits), start_(std::chrono::steady_clock::now()) {}
+
+bool BudgetTracker::ChargeStep() {
+  ++steps_;
+  if (exhausted()) return true;
+  if (!limits_.limited()) return false;
+  if (limits_.max_steps > 0 && steps_ >= limits_.max_steps) {
+    cause_ = BudgetExhaustion::kSteps;
+    return true;
+  }
+  if (steps_ % kSlowCheckInterval == 0) SlowCheck();
+  return exhausted();
+}
+
+bool BudgetTracker::ChargeState() {
+  ++states_;
+  if (exhausted()) return true;
+  if (limits_.max_states > 0 && states_ >= limits_.max_states) {
+    cause_ = BudgetExhaustion::kStates;
+  }
+  return exhausted();
+}
+
+void BudgetTracker::SlowCheck() {
+  if (limits_.deadline_ms > 0) {
+    double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    if (elapsed_ms >= limits_.deadline_ms) {
+      cause_ = BudgetExhaustion::kDeadline;
+      return;
+    }
+  }
+  if (limits_.max_expr_nodes > 0) {
+    // stats() sums 64 shards — fine at this cadence, too costly per
+    // step.
+    expr_nodes_seen_ = ExprInterner::Global().stats().nodes;
+    if (expr_nodes_seen_ >= limits_.max_expr_nodes) {
+      cause_ = BudgetExhaustion::kExprNodes;
+    }
+  }
+}
+
+BudgetCounters BudgetTracker::counters() const {
+  BudgetCounters c;
+  c.steps = steps_;
+  c.states = states_;
+  c.elapsed_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count();
+  c.expr_nodes = expr_nodes_seen_;
+  c.exhausted_by = cause_;
+  return c;
+}
+
+}  // namespace dtaint

@@ -1,0 +1,55 @@
+#include "src/resilience/incident.h"
+
+#include "src/util/strings.h"
+
+namespace dtaint {
+
+std::string Incident::ToString() const {
+  std::string out = binary;
+  out += '/';
+  out += phase;
+  if (!detail.empty()) {
+    out += '(';
+    out += detail;
+    out += ')';
+  }
+  out += ": ";
+  out += status.ToString();
+  return out;
+}
+
+std::string IncidentToJson(const Incident& incident) {
+  std::string out = "{";
+  out += "\"binary\":\"" + JsonEscape(incident.binary) + "\",";
+  out += "\"phase\":\"" + JsonEscape(incident.phase) + "\",";
+  out += "\"detail\":\"" + JsonEscape(incident.detail) + "\",";
+  out += "\"code\":\"" +
+         JsonEscape(StatusCodeName(incident.status.code())) + "\",";
+  out += "\"message\":\"" + JsonEscape(incident.status.message()) + "\"";
+  if (incident.budget.exhausted_by != BudgetExhaustion::kNone) {
+    out += ",\"budget\":{";
+    out += "\"steps\":" + std::to_string(incident.budget.steps) + ",";
+    out += "\"states\":" + std::to_string(incident.budget.states) + ",";
+    out += "\"elapsed_ms\":" + FmtDouble(incident.budget.elapsed_ms, 3) + ",";
+    out += "\"expr_nodes\":" + std::to_string(incident.budget.expr_nodes) +
+           ",";
+    out += "\"exhausted_by\":\"" +
+           std::string(BudgetExhaustionName(incident.budget.exhausted_by)) +
+           "\"";
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+std::string IncidentsToJson(const std::vector<Incident>& incidents) {
+  std::string out = "[";
+  for (size_t i = 0; i < incidents.size(); ++i) {
+    if (i) out += ",";
+    out += IncidentToJson(incidents[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace dtaint

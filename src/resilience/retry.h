@@ -1,0 +1,40 @@
+// Bounded retry-with-backoff for transient I/O.
+//
+// The disk tier of the summary cache lives on whatever storage a
+// firmware fleet scanner gets — NFS, overlay filesystems, throttled
+// cloud disks — where reads and writes fail transiently. Each cache
+// I/O is retried a few times with doubling backoff; if the operation
+// still fails the caller falls back to cache-off for that entry (the
+// cache is an accelerator, never a correctness dependency).
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+namespace dtaint {
+
+struct RetryPolicy {
+  int attempts = 3;             // total tries, including the first
+  int initial_backoff_us = 200; // sleep before try 2; doubles per retry
+};
+
+/// Runs `op` (a callable returning bool, true = success) up to
+/// `policy.attempts` times, sleeping with doubling backoff between
+/// tries. Returns whether it eventually succeeded; `*retries`, when
+/// non-null, receives the number of re-tries taken (0 = first try
+/// succeeded or never succeeded... see return value for which).
+template <typename Op>
+bool RetryIo(const RetryPolicy& policy, Op&& op, int* retries = nullptr) {
+  int backoff_us = policy.initial_backoff_us;
+  for (int attempt = 0; attempt < policy.attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      backoff_us *= 2;
+      if (retries) ++*retries;
+    }
+    if (op()) return true;
+  }
+  return false;
+}
+
+}  // namespace dtaint

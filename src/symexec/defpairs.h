@@ -39,6 +39,11 @@ struct DefPair {
   /// Constraints active when the definition executed (needed by the
   /// loop-copy sink check, which has no call event to read them from).
   std::vector<PathConstraint> constraints;
+  /// True when this pair came from a budget-degraded summary (directly
+  /// or imported from a degraded callee during linking). The path
+  /// finder refuses to report flows built on degraded pairs — they are
+  /// conservative over-approximations, not observed data flow.
+  bool degraded = false;
 
   std::string ToString() const;
 };
@@ -80,6 +85,15 @@ struct FunctionSummary {
   int paths_explored = 0;
   int blocks_visited = 0;
   bool truncated = false;  // hit a path/step budget
+  /// True when the analysis budget was exhausted and this summary is
+  /// the conservative stand-in from MakeDegradedSummary: every pointer
+  /// argument potentially modified, return tainted-if-any-arg-tainted.
+  /// Degraded summaries are never written to the persistent cache.
+  bool degraded = false;
+  /// Set during linking when any return value flowing into this
+  /// summary originated in a degraded callee; propagated transitively
+  /// so findings through such values can be suppressed.
+  bool ret_degraded = false;
   /// Def pairs added by the alias pass (Algorithm 1), once it has run
   /// over this summary. Carried here so a summary served from the
   /// persistent cache reports the same count as one aliased in-process.

@@ -106,15 +106,17 @@ struct Work {
 class Exploration {
  public:
   Exploration(const Binary& binary, const Function& fn,
-              const EngineConfig& config, FunctionSummary& summary)
+              const EngineConfig& config, FunctionSummary& summary,
+              BudgetTracker* budget)
       : binary_(binary), fn_(fn), config_(config), summary_(summary),
-        cc_(ConventionFor(binary.arch)) {}
+        budget_(budget), cc_(ConventionFor(binary.arch)) {}
 
   void Run() {
     SymState init = SymState::Entry(binary_.arch);
     init.path_id = next_path_id_++;
     work_.push_back({fn_.addr, std::move(init)});
     while (!work_.empty()) {
+      if (budget_ && budget_->exhausted()) return;
       if (summary_.paths_explored >= config_.max_paths ||
           block_visits_ >= config_.max_block_visits) {
         summary_.truncated = true;
@@ -299,6 +301,10 @@ class Exploration {
     std::optional<PendingExit> pending_exit;
 
     for (const Stmt& stmt : block->stmts) {
+      // Cooperative watchdog: one budget step per IR statement. On
+      // exhaustion abandon the block mid-way — the caller throws the
+      // whole partial summary away and degrades.
+      if (budget_ && budget_->ChargeStep()) return;
       switch (stmt.kind) {
         case StmtKind::kIMark:
           cur_site = stmt.addr;
@@ -475,6 +481,7 @@ class Exploration {
   }
 
   void Continue(uint32_t block_addr, SymState state) {
+    if (budget_) budget_->ChargeState();
     work_.push_back({block_addr, std::move(state)});
   }
 
@@ -487,6 +494,7 @@ class Exploration {
   const Function& fn_;
   const EngineConfig& config_;
   FunctionSummary& summary_;
+  BudgetTracker* budget_;
   const CallingConvention& cc_;
 
   std::vector<Work> work_;
@@ -497,12 +505,38 @@ class Exploration {
 
 }  // namespace
 
-FunctionSummary SymEngine::Analyze(const Function& fn) const {
+FunctionSummary SymEngine::Analyze(const Function& fn,
+                                   BudgetTracker* budget) const {
   FunctionSummary summary;
   summary.name = fn.name;
   summary.addr = fn.addr;
-  Exploration exploration(binary_, fn, config_, summary);
+  Exploration exploration(binary_, fn, config_, summary, budget);
   exploration.Run();
+  if (budget && budget->exhausted()) return MakeDegradedSummary(fn);
+  return summary;
+}
+
+FunctionSummary MakeDegradedSummary(const Function& fn) {
+  FunctionSummary summary;
+  summary.name = fn.name;
+  summary.addr = fn.addr;
+  summary.degraded = true;
+  summary.truncated = true;
+  summary.paths_explored = 0;
+  SymRef ret;
+  for (int i = 0; i < kNumRegArgs; ++i) {
+    SymRef pointee = SymExpr::Deref(SymExpr::Arg(i));
+    DefPair dp;
+    dp.d = pointee;
+    dp.u = pointee;
+    dp.site = fn.addr;
+    dp.path_id = 0;
+    dp.degraded = true;
+    summary.def_pairs.push_back(std::move(dp));
+    summary.undefined_uses.push_back({pointee, fn.addr, 0});
+    ret = ret ? SymExpr::Bin(BinOp::kOr, ret, pointee) : pointee;
+  }
+  summary.return_values.push_back(std::move(ret));
   return summary;
 }
 

@@ -21,6 +21,7 @@
 
 #include "src/binary/binary.h"
 #include "src/cfg/function.h"
+#include "src/resilience/budget.h"
 #include "src/symexec/defpairs.h"
 #include "src/symexec/symstate.h"
 #include "src/util/status.h"
@@ -39,8 +40,14 @@ class SymEngine {
   SymEngine(const Binary& binary, EngineConfig config = {})
       : binary_(binary), config_(config) {}
 
-  /// Runs static symbolic analysis over one lifted function.
-  FunctionSummary Analyze(const Function& fn) const;
+  /// Runs static symbolic analysis over one lifted function. When a
+  /// budget tracker is supplied, exploration charges it cooperatively
+  /// (one step per IR statement, one state per path enqueue); on
+  /// exhaustion the partial exploration is discarded and the
+  /// conservative MakeDegradedSummary result is returned instead, so
+  /// callers always compose against a sound summary.
+  FunctionSummary Analyze(const Function& fn,
+                          BudgetTracker* budget = nullptr) const;
 
   const EngineConfig& config() const { return config_; }
   const Binary& binary() const { return binary_; }
@@ -69,5 +76,17 @@ struct LibModel {
 
 /// Model for a library function, or nullptr if unmodeled.
 const LibModel* FindLibModel(std::string_view name);
+
+/// The conservative stand-in emitted when a function's analysis budget
+/// is exhausted (or a `summary` fault is injected): every register
+/// argument is treated as a pointer whose pointee is both read
+/// (undefined use, so callers forward taint into it) and potentially
+/// rewritten with its own — possibly attacker-derived — contents
+/// (identity def pair deref(arg_i) = deref(arg_i)); the return value
+/// is the Or-fold of all argument pointees, i.e. tainted iff any
+/// argument's buffer is. All pairs and the summary itself carry the
+/// `degraded` flag so downstream consumers can tell over-approximation
+/// from observed flow. Marked `truncated` too, and never cached.
+FunctionSummary MakeDegradedSummary(const Function& fn);
 
 }  // namespace dtaint

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
 #include "src/binary/loader.h"
 #include "src/binary/writer.h"
 #include "src/isa/asm_builder.h"
@@ -218,6 +221,28 @@ TEST(Loader, MappedSizeSumsSections) {
   writer.AddBss(100);                 // rounds to 100 (already aligned)
   auto bin = writer.Build();
   EXPECT_EQ(bin->MappedSize(), 4u + 100u);
+}
+
+TEST(Loader, CrasherCorpusIsRejectedWithoutCrashing) {
+  // Regression corpus: loader inputs that exposed missing validation
+  // during development (uint32 wrap in the symbol range check,
+  // overlapping sections, payload overrunning its section). Each must
+  // come back as a structured error, never a crash or an accept.
+  namespace fs = std::filesystem;
+  fs::path dir = fs::path(__FILE__).parent_path() / "testing" / "crashers";
+  ASSERT_TRUE(fs::exists(dir));
+  int replayed = 0;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".dtbin") continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+    ASSERT_FALSE(bytes.empty()) << entry.path();
+    auto r = BinaryLoader::Load(bytes, entry.path().filename().string());
+    EXPECT_FALSE(r.ok()) << entry.path() << " parsed successfully";
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 3);
 }
 
 }  // namespace

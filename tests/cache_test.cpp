@@ -14,6 +14,7 @@
 #include "src/cache/summary_cache.h"
 #include "src/cache/summary_codec.h"
 #include "src/cfg/cfg_builder.h"
+#include "src/core/dtaint.h"
 #include "src/isa/asm_builder.h"
 #include "src/symexec/engine.h"
 #include "src/synth/firmware_synth.h"
@@ -479,6 +480,62 @@ TEST(Fingerprint, Hash128HexIsCanonical) {
   Hash128 h{0x0123456789ABCDEFULL, 0xFEDCBA9876543210ULL};
   EXPECT_EQ(h.ToHex(), "0123456789abcdeffedcba9876543210");
   EXPECT_EQ(Hash128{}.ToHex(), "00000000000000000000000000000000");
+}
+
+// ---------- degraded summaries stay out of the cache -------------------------
+
+TEST(SummaryCacheTier, DegradedSummariesAreNotCachedAndRerunRecovers) {
+  // A starved-budget run degrades some functions; those summaries must
+  // not be persisted, or a later generous run would serve stale
+  // conservative garbage from the warm cache. The proof: warm rerun
+  // with the budget lifted re-analyzes exactly the degraded functions
+  // (cache misses for them), ends complete, and the store count grows
+  // by the functions that were withheld the first time.
+  ProgramSpec spec;
+  spec.name = "degrade";
+  spec.seed = 31;
+  spec.filler_functions = 20;
+  PlantSpec p;
+  p.id = "v";
+  p.pattern = VulnPattern::kDirect;
+  p.source = "getenv";
+  p.sink = "system";
+  spec.plants = {p};
+  auto out = SynthesizeBinary(spec);
+  ASSERT_TRUE(out.ok());
+
+  fs::path dir = "cache_test_degraded";
+  fs::remove_all(dir);
+  CacheConfig cache_config;
+  cache_config.disk_dir = dir.string();
+  SummaryCache cache(cache_config);
+
+  DTaintConfig starved;
+  starved.interproc.cache = &cache;
+  starved.interproc.budget.max_steps = 150;
+  auto cold = DTaint(starved).Analyze(out->binary);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_GT(cold->degraded_functions, 0u);
+  size_t stores_after_cold = cache.stats().stores;
+  // Nothing degraded was stored; the two pipeline passes store each
+  // full-effort function at most twice (first pass + relink pass).
+  EXPECT_LT(stores_after_cold,
+            2 * cold->interproc_stats.functions_processed);
+
+  DTaintConfig generous;
+  generous.interproc.cache = &cache;
+  auto warm = DTaint(generous).Analyze(out->binary);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->degraded_functions, 0u);
+  EXPECT_TRUE(warm->complete);
+  // The previously degraded functions were recomputed and stored now.
+  EXPECT_GT(cache.stats().stores, stores_after_cold);
+  // And the warm result equals an uncached reference run.
+  auto reference = DTaint().Analyze(out->binary);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(warm->vulnerable_paths, reference->vulnerable_paths);
+  EXPECT_EQ(warm->findings.size(), reference->findings.size());
+  fs::remove_all(dir);
 }
 
 }  // namespace

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+
 #include "src/firmware/extractor.h"
 #include "src/firmware/packer.h"
 
@@ -116,6 +119,28 @@ TEST(Image, Helpers) {
 TEST(Image, PackingNames) {
   EXPECT_EQ(PackingName(Packing::kPlain), "plain");
   EXPECT_EQ(PackingName(Packing::kEncrypted), "encrypted");
+}
+
+TEST(Extractor, CrasherCorpusIsRejectedWithoutCrashing) {
+  // Regression corpus: firmware blobs that exposed missing validation
+  // during development (truncation inside the filesystem table). Each
+  // must come back as a structured error, never a crash or an accept.
+  namespace fs = std::filesystem;
+  fs::path dir = fs::path(__FILE__).parent_path() / "testing" / "crashers";
+  ASSERT_TRUE(fs::exists(dir));
+  int replayed = 0;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".dtfw") continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+    ASSERT_FALSE(bytes.empty()) << entry.path();
+    auto r = FirmwareExtractor::Extract(bytes,
+                                        entry.path().filename().string());
+    EXPECT_FALSE(r.ok()) << entry.path() << " extracted successfully";
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 1);
 }
 
 }  // namespace

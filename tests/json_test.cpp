@@ -159,6 +159,83 @@ TEST(JsonReport, FullReportParsesWithRepoParser) {
       static_cast<double>(report->functions));
 }
 
+TEST(JsonReport, ResilienceKeysSerializedAndParseable) {
+  AnalysisReport report;
+  report.binary_name = "resil";
+  report.complete = false;
+  report.degraded_functions = 2;
+  report.suppressed_findings = 1;
+  report.interproc_stats.truncated_functions = 3;
+  Incident inc;
+  inc.binary = "resil";
+  inc.phase = "summary";
+  inc.detail = "fn_0001";
+  inc.status = OutOfRange("analysis budget exhausted (steps)");
+  inc.budget.steps = 512;
+  inc.budget.states = 7;
+  inc.budget.exhausted_by = BudgetExhaustion::kSteps;
+  report.incidents.push_back(inc);
+
+  auto parsed = ParseJson(ReportToJson(report));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Find("complete")->boolean(), false);
+  const JsonValue* resilience = parsed->Find("resilience");
+  ASSERT_NE(resilience, nullptr);
+  EXPECT_EQ(resilience->Find("degraded_functions")->number(), 2);
+  EXPECT_EQ(resilience->Find("truncated_functions")->number(), 3);
+  EXPECT_EQ(resilience->Find("suppressed_findings")->number(), 1);
+  const JsonValue* incidents = parsed->Find("incidents");
+  ASSERT_NE(incidents, nullptr);
+  ASSERT_EQ(incidents->array().size(), 1u);
+  const JsonValue& first = incidents->array()[0];
+  EXPECT_EQ(first.Find("phase")->string(), "summary");
+  EXPECT_EQ(first.Find("detail")->string(), "fn_0001");
+  EXPECT_EQ(first.Find("code")->string(), "OUT_OF_RANGE");
+  ASSERT_NE(first.Find("budget"), nullptr);
+  EXPECT_EQ(first.Find("budget")->Find("steps")->number(), 512);
+  EXPECT_EQ(first.Find("budget")->Find("exhausted_by")->string(), "steps");
+}
+
+TEST(JsonReport, CompleteReportOmitsNoKeys) {
+  // A clean report still carries complete:true and an empty incidents
+  // array — consumers should not need key-presence checks.
+  AnalysisReport report;
+  report.binary_name = "clean";
+  auto parsed = ParseJson(ReportToJson(report));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("complete")->boolean(), true);
+  EXPECT_TRUE(parsed->Find("incidents")->array().empty());
+  ASSERT_NE(parsed->Find("pathfinder"), nullptr);
+  EXPECT_EQ(parsed->Find("pathfinder")->Find("degraded_paths")->number(),
+            0);
+}
+
+TEST(JsonFindings, BareArrayMatchesReportFindings) {
+  // FindingsToJson must emit exactly the "findings" array of
+  // ReportToJson — differential tests rely on byte-comparability.
+  ProgramSpec spec;
+  spec.name = "fj";
+  spec.arch = Arch::kDtArm;
+  spec.seed = 5;
+  spec.filler_functions = 2;
+  PlantSpec p;
+  p.id = "fj";
+  p.pattern = VulnPattern::kDirect;
+  p.source = "getenv";
+  p.sink = "system";
+  spec.plants = {p};
+  auto out = SynthesizeBinary(spec);
+  ASSERT_TRUE(out.ok());
+  auto report = DTaint().Analyze(out->binary);
+  ASSERT_TRUE(report.ok());
+  ASSERT_FALSE(report->findings.empty());
+  std::string bare = FindingsToJson(report->findings);
+  auto parsed = ParseJson(bare);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->array().size(), report->findings.size());
+  EXPECT_NE(ReportToJson(*report).find(bare), std::string::npos);
+}
+
 TEST(JsonScore, RoundNumbersPresent) {
   DetectionScore score;
   score.true_positives = 3;
