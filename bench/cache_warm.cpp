@@ -16,14 +16,17 @@
 // path search), so its ratio is Amdahl-bounded well below the
 // summary-phase ratio; it is printed so the end-to-end win is never
 // overstated.
-#include <algorithm>
+//
+// Repetition (median-of-3 by summary time) and per-phase metrics come
+// from the shared bench harness; each rep's cache.* counters are a
+// clean per-rep registry delta, so reps can't contaminate each other.
 #include <cstdio>
 #include <filesystem>
 #include <vector>
 
 #include "src/cache/summary_cache.h"
 #include "src/core/dtaint.h"
-#include "src/obs/stopwatch.h"
+#include "src/obs/bench.h"
 #include "src/report/table.h"
 #include "src/synth/firmware_synth.h"
 #include "src/util/strings.h"
@@ -68,51 +71,39 @@ std::vector<Binary> BuildCorpus() {
   return corpus;
 }
 
-struct SweepResult {
-  double seconds = 0.0;          // wall clock for the whole sweep
-  double summary_seconds = 0.0;  // summary production (what the cache serves)
+struct SweepTotals {
+  double summary_seconds = 0.0;
   size_t findings = 0;
   size_t hits = 0;
   size_t misses = 0;
 };
 
-SweepResult Sweep(const std::vector<Binary>& corpus, SummaryCache* cache) {
-  SweepResult r;
-  obs::Stopwatch watch;
+/// Scans the corpus once and records the rep's results; hit/miss
+/// counters come from the per-report registry-backed compat stats.
+SweepTotals Sweep(const std::vector<Binary>& corpus, SummaryCache* cache,
+                  bench::Rep& rep) {
+  SweepTotals t;
   for (const Binary& binary : corpus) {
     DTaintConfig config;
     config.interproc.cache = cache;
     auto report = DTaint(config).Analyze(binary);
     if (!report.ok()) continue;
-    r.summary_seconds += report->interproc_stats.summary_seconds;
-    r.findings += report->findings.size();
-    // Registry-backed compat counters (InterprocStats is populated from
-    // the "cache.*" metrics); summed over the sweep they must equal the
-    // cache's own lifetime CacheStats — checked in main.
-    r.hits += report->interproc_stats.cache_hits;
-    r.misses += report->interproc_stats.cache_misses;
+    t.summary_seconds += report->interproc_stats.summary_seconds;
+    t.findings += report->findings.size();
+    t.hits += report->interproc_stats.cache_hits;
+    t.misses += report->interproc_stats.cache_misses;
   }
-  r.seconds = watch.Seconds();
-  return r;
-}
-
-/// Runs the sweep `reps` times and keeps the run with the median
-/// summary-production time — one noisy scheduler tick on a small box
-/// otherwise swings the headline ratio by tens of percent.
-template <typename MakeSweep>
-SweepResult MedianOf(int reps, MakeSweep make_sweep) {
-  std::vector<SweepResult> runs;
-  for (int i = 0; i < reps; ++i) runs.push_back(make_sweep());
-  std::sort(runs.begin(), runs.end(),
-            [](const SweepResult& a, const SweepResult& b) {
-              return a.summary_seconds < b.summary_seconds;
-            });
-  return runs[runs.size() / 2];
+  rep.Value("summary_seconds", t.summary_seconds);
+  rep.Value("findings", static_cast<double>(t.findings));
+  rep.Value("hits", static_cast<double>(t.hits));
+  rep.Value("misses", static_cast<double>(t.misses));
+  return t;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness("cache_warm", argc, argv);
   std::printf("=== Summary cache: cold vs warm corpus scan ===\n\n");
   std::filesystem::path dir = "bench_cache_warm_dir";
   std::filesystem::remove_all(dir);
@@ -120,40 +111,65 @@ int main() {
   cache_config.disk_dir = dir.string();
 
   std::vector<Binary> corpus = BuildCorpus();
-  std::printf("corpus: %zu binaries, ~63 functions each\n\n",
-              corpus.size());
+  // Median-of-3 by summary-production time — one noisy scheduler tick
+  // on a small box otherwise swings the headline ratio by tens of
+  // percent.
+  bench::RunOptions median3;
+  median3.reps = 3;
+  median3.median_key = "summary_seconds";
+  std::printf("corpus: %zu binaries, ~63 functions each; median-of-%d\n\n",
+              corpus.size(), harness.RepsFor(median3.reps));
 
-  SweepResult cold = MedianOf(3, [&] { return Sweep(corpus, nullptr); });
+  const bench::RunResult& cold = harness.Run(
+      "cold", median3, [&](bench::Rep& rep) { Sweep(corpus, nullptr, rep); });
 
+  // The summed per-report compat counters must equal both the cache's
+  // own lifetime CacheStats and the harness's per-rep registry delta —
+  // three views of the same traffic.
   bool compat_ok = true;
-  SweepResult populate;
-  {
-    SummaryCache cache(cache_config);
-    populate = Sweep(corpus, &cache);
-    CacheStats stats = cache.stats();
-    compat_ok = compat_ok && populate.hits == stats.hits &&
-                populate.misses == stats.misses;
-  }
+  bench::RunOptions once;
+  const bench::RunResult& populate =
+      harness.Run("populate", once, [&](bench::Rep& rep) {
+        SummaryCache cache(cache_config);
+        SweepTotals t = Sweep(corpus, &cache, rep);
+        CacheStats stats = cache.stats();
+        compat_ok = compat_ok && t.hits == stats.hits &&
+                    t.misses == stats.misses;
+      });
+  compat_ok =
+      compat_ok &&
+      populate.metrics.CounterValue("cache.hits") ==
+          static_cast<uint64_t>(populate.values.at("hits")) &&
+      populate.metrics.CounterValue("cache.misses") ==
+          static_cast<uint64_t>(populate.values.at("misses"));
 
-  SweepResult warm = MedianOf(3, [&] {
-    // Fresh instance per run = fresh process: the memory tier starts
-    // empty and everything must come off disk.
-    SummaryCache cache(cache_config);
-    SweepResult r = Sweep(corpus, &cache);
-    CacheStats stats = cache.stats();
-    compat_ok = compat_ok && r.hits == stats.hits &&
-                r.misses == stats.misses;
-    return r;
-  });
+  const bench::RunResult& warm =
+      harness.Run("warm", median3, [&](bench::Rep& rep) {
+        // Fresh instance per rep = fresh process: the memory tier
+        // starts empty and everything must come off disk.
+        SummaryCache cache(cache_config);
+        SweepTotals t = Sweep(corpus, &cache, rep);
+        CacheStats stats = cache.stats();
+        compat_ok = compat_ok && t.hits == stats.hits &&
+                    t.misses == stats.misses;
+      });
+  compat_ok = compat_ok &&
+              warm.metrics.CounterValue("cache.hits") ==
+                  static_cast<uint64_t>(warm.values.at("hits"));
   std::filesystem::remove_all(dir);
 
+  double cold_summary = cold.values.at("summary_seconds");
+  double warm_summary = warm.values.at("summary_seconds");
   TextTable table({"Phase", "Summary (s)", "Wall (s)", "Findings",
                    "Hits", "Misses", "Summary speedup"});
-  auto row = [&](const char* name, const SweepResult& r) {
-    table.AddRow({name, FmtDouble(r.summary_seconds, 3),
-                  FmtDouble(r.seconds, 3), std::to_string(r.findings),
-                  std::to_string(r.hits), std::to_string(r.misses),
-                  FmtDouble(cold.summary_seconds / r.summary_seconds, 2) +
+  auto row = [&](const char* name, const bench::RunResult& r) {
+    table.AddRow({name, FmtDouble(r.values.at("summary_seconds"), 3),
+                  FmtDouble(r.wall_seconds, 3),
+                  std::to_string(static_cast<size_t>(r.values.at("findings"))),
+                  std::to_string(static_cast<size_t>(r.values.at("hits"))),
+                  std::to_string(static_cast<size_t>(r.values.at("misses"))),
+                  FmtDouble(cold_summary / r.values.at("summary_seconds"),
+                            2) +
                       "x"});
   };
   row("cold (no cache)", cold);
@@ -161,19 +177,26 @@ int main() {
   row("warm (from disk)", warm);
   std::printf("%s\n", table.Render().c_str());
 
-  double speedup = cold.summary_seconds / warm.summary_seconds;
-  bool identical = cold.findings == warm.findings &&
-                   cold.findings == populate.findings;
+  double speedup = cold_summary / warm_summary;
+  harness.AddExternalRun("derived", 0.0,
+                         {{"warm_speedup", speedup},
+                          {"wall_speedup",
+                           cold.wall_seconds / warm.wall_seconds}});
+  harness.Note("warm_speedup target >= 3x");
+  bool identical = cold.values.at("findings") == warm.values.at("findings") &&
+                   cold.values.at("findings") ==
+                       populate.values.at("findings");
   std::printf("warm summary-production speedup: %.2fx (target >= 3x); "
               "end-to-end wall: %.2fx; findings identical across "
               "phases: %s\n",
-              speedup, cold.seconds / warm.seconds,
+              speedup, cold.wall_seconds / warm.wall_seconds,
               identical ? "yes" : "NO");
   std::printf("(the differential test suite proves full-report byte "
               "equality; this bench only totals findings)\n");
   std::printf("registry-backed hit/miss counters match the cache's own "
-              "CacheStats: %s\n", compat_ok ? "yes" : "NO");
-  return (speedup >= 3.0 && identical && warm.misses == 0 && compat_ok)
-             ? 0
-             : 1;
+              "CacheStats and the per-rep metrics delta: %s\n",
+              compat_ok ? "yes" : "NO");
+  bool ok = speedup >= 3.0 && identical &&
+            warm.values.at("misses") == 0 && compat_ok;
+  return harness.Finish(ok);
 }

@@ -1,7 +1,15 @@
 // Microbenchmarks (google-benchmark) for the analysis hot paths:
 // decode, lift, CFG recovery, per-function symbolic analysis, alias
 // recognition, layout similarity, and whole-binary detection.
+//
+// A custom main feeds every google-benchmark result into the shared
+// bench harness so micro_engine emits the same BENCH_*.json document
+// as the macro benches: each benchmark becomes a run with
+// `real_nanos` / `cpu_nanos` per-iteration values (the `_nanos`
+// suffix puts them under bench_diff's nanosecond-scale ratio gate).
 #include <benchmark/benchmark.h>
+
+#include "src/obs/bench.h"
 
 #include "src/cfg/callgraph.h"
 #include "src/cfg/cfg_builder.h"
@@ -259,5 +267,41 @@ void BM_BottomUpLinking(benchmark::State& state) {
 }
 BENCHMARK(BM_BottomUpLinking);
 
+/// ConsoleReporter subclass that tees every per-iteration result into
+/// the harness while keeping google-benchmark's normal console table.
+class HarnessReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit HarnessReporter(bench::Harness& harness) : harness_(harness) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type == Run::RT_Aggregate) continue;
+      double iters = run.iterations > 0
+                         ? static_cast<double>(run.iterations)
+                         : 1.0;
+      harness_.AddExternalRun(
+          run.benchmark_name(), run.real_accumulated_time,
+          {{"real_nanos", run.real_accumulated_time * 1e9 / iters},
+           {"cpu_nanos", run.cpu_accumulated_time * 1e9 / iters}});
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  bench::Harness& harness_;
+};
+
 }  // namespace
 }  // namespace dtaint
+
+int main(int argc, char** argv) {
+  // The harness consumes --json-out/--trace-out/--reps; the leftovers
+  // go to google-benchmark (we skip ReportUnrecognizedArguments so the
+  // harness flags don't trip it).
+  dtaint::bench::Harness harness("micro_engine", argc, argv);
+  benchmark::Initialize(&argc, argv);
+  dtaint::HarnessReporter reporter(harness);
+  size_t ran = benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return harness.Finish(ran > 0);
+}

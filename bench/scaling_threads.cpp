@@ -6,8 +6,9 @@
 // the allocator and extra workers ran *slower* than one. This bench
 // measures what the interner bought: the summary-production time
 // (InterprocStats::summary_seconds) of a 12-binary corpus scan at
-// num_threads = 1, 2, 4, 8, median-of-3 per point, and reports the
-// speedup of each point over sequential.
+// num_threads = 1, 2, 4, 8, median-of-3 per point (via the shared
+// bench harness), and reports the speedup of each point over
+// sequential.
 //
 // Findings must be identical at every thread count (the differential
 // test suite proves full-report byte equality; this bench totals
@@ -18,14 +19,13 @@
 // `--legacy` re-runs the sweep with interning disabled (the old
 // heap-allocating expressions) for a direct before/after on the same
 // host and corpus.
-#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <thread>
 #include <vector>
 
 #include "src/core/dtaint.h"
-#include "src/obs/stopwatch.h"
+#include "src/obs/bench.h"
 #include "src/report/table.h"
 #include "src/symexec/intern.h"
 #include "src/synth/firmware_synth.h"
@@ -68,84 +68,90 @@ std::vector<Binary> BuildCorpus() {
   return corpus;
 }
 
-struct SweepResult {
-  double seconds = 0.0;          // wall clock for the whole sweep
-  double summary_seconds = 0.0;  // phase-1 time the threads spread
+void Sweep(const std::vector<Binary>& corpus, int num_threads,
+           bench::Rep& rep) {
+  double summary_seconds = 0.0;
   size_t findings = 0;
-};
-
-SweepResult Sweep(const std::vector<Binary>& corpus, int num_threads) {
-  SweepResult r;
-  obs::Stopwatch watch;
   for (const Binary& binary : corpus) {
     DTaintConfig config;
     config.interproc.num_threads = num_threads;
     auto report = DTaint(config).Analyze(binary);
     if (!report.ok()) continue;
-    r.summary_seconds += report->interproc_stats.summary_seconds;
-    r.findings += report->findings.size();
+    summary_seconds += report->interproc_stats.summary_seconds;
+    findings += report->findings.size();
   }
-  r.seconds = watch.Seconds();
-  return r;
-}
-
-/// Median-of-`reps` by summary time — one noisy scheduler tick on a
-/// small box otherwise swings the headline ratio by tens of percent.
-SweepResult MedianSweep(const std::vector<Binary>& corpus, int num_threads,
-                        int reps) {
-  std::vector<SweepResult> runs;
-  for (int i = 0; i < reps; ++i) runs.push_back(Sweep(corpus, num_threads));
-  std::sort(runs.begin(), runs.end(),
-            [](const SweepResult& a, const SweepResult& b) {
-              return a.summary_seconds < b.summary_seconds;
-            });
-  return runs[runs.size() / 2];
+  rep.Value("summary_seconds", summary_seconds);
+  rep.Value("findings", static_cast<double>(findings));
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool legacy = argc > 1 && std::strcmp(argv[1], "--legacy") == 0;
+  bool legacy = false;
+  for (int i = 1; i < argc; ++i) {
+    legacy = legacy || std::strcmp(argv[i], "--legacy") == 0;
+  }
   ScopedExprInterning toggle(!legacy);
+  bench::Harness harness(legacy ? "scaling_threads_legacy"
+                                : "scaling_threads",
+                         argc, argv);
   std::printf("=== Thread scaling: summary phase, 1/2/4/8 workers%s ===\n\n",
               legacy ? " (LEGACY: interning off)" : "");
   unsigned cores = std::thread::hardware_concurrency();
   std::vector<Binary> corpus = BuildCorpus();
-  std::printf("corpus: %zu binaries, ~43 functions each; host cores: %u\n\n",
-              corpus.size(), cores);
+  // Median-of-3 by summary time per point — one noisy scheduler tick
+  // on a small box otherwise swings the headline ratio.
+  bench::RunOptions median3;
+  median3.reps = 3;
+  median3.median_key = "summary_seconds";
+  std::printf("corpus: %zu binaries, ~43 functions each; host cores: %u; "
+              "median-of-%d\n\n",
+              corpus.size(), cores, harness.RepsFor(median3.reps));
+  harness.Note("host cores: " + std::to_string(cores));
 
   const int kThreadPoints[] = {1, 2, 4, 8};
-  std::vector<SweepResult> results;
-  for (int n : kThreadPoints) results.push_back(MedianSweep(corpus, n, 3));
+  std::vector<const bench::RunResult*> results;
+  for (int n : kThreadPoints) {
+    results.push_back(&harness.Run(
+        "threads=" + std::to_string(n), median3,
+        [&](bench::Rep& rep) { Sweep(corpus, n, rep); }));
+  }
 
-  const SweepResult& seq = results[0];
+  const bench::RunResult& seq = *results[0];
+  double seq_summary = seq.values.at("summary_seconds");
   TextTable table({"Threads", "Summary (s)", "Wall (s)", "Findings",
                    "Summary speedup"});
   for (size_t i = 0; i < results.size(); ++i) {
-    const SweepResult& r = results[i];
+    const bench::RunResult& r = *results[i];
     table.AddRow({std::to_string(kThreadPoints[i]),
-                  FmtDouble(r.summary_seconds, 3), FmtDouble(r.seconds, 3),
-                  std::to_string(r.findings),
-                  FmtDouble(seq.summary_seconds / r.summary_seconds, 2) +
+                  FmtDouble(r.values.at("summary_seconds"), 3),
+                  FmtDouble(r.wall_seconds, 3),
+                  std::to_string(
+                      static_cast<size_t>(r.values.at("findings"))),
+                  FmtDouble(seq_summary / r.values.at("summary_seconds"),
+                            2) +
                       "x"});
   }
   std::printf("%s\n", table.Render().c_str());
 
   bool identical = true;
-  for (const SweepResult& r : results) {
-    identical = identical && r.findings == seq.findings;
+  for (const bench::RunResult* r : results) {
+    identical =
+        identical && r->values.at("findings") == seq.values.at("findings");
   }
-  double speedup4 = seq.summary_seconds / results[2].summary_seconds;
+  double speedup4 = seq_summary / results[2]->values.at("summary_seconds");
+  harness.AddExternalRun("derived", 0.0,
+                         {{"four_thread_speedup", speedup4}});
   std::printf("findings identical across thread counts: %s\n",
               identical ? "yes" : "NO");
   if (cores >= 4) {
     std::printf("4-thread summary speedup: %.2fx (target >= 2x)\n",
                 speedup4);
-    return (identical && speedup4 >= 2.0) ? 0 : 1;
+    return harness.Finish(identical && speedup4 >= 2.0);
   }
   std::printf("4-thread summary speedup: %.2fx — host has %u core(s), so "
               "the >= 2x target is not enforceable here (threads can only "
               "time-slice one core); determinism is still checked\n",
               speedup4, cores);
-  return identical ? 0 : 1;
+  return harness.Finish(identical);
 }

@@ -12,6 +12,7 @@
 #include "src/binary/loader.h"
 #include "src/core/dtaint.h"
 #include "src/core/sources_sinks.h"
+#include "src/obs/bench.h"
 #include "src/report/scoring.h"
 #include "src/report/table.h"
 #include "src/synth/paper_images.h"
@@ -19,7 +20,8 @@
 
 using namespace dtaint;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness("table3_detection", argc, argv);
   std::printf("=== Table I: sources and sinks ===\n\n");
   {
     std::vector<std::string> sink_names;
@@ -41,22 +43,47 @@ int main() {
     auto fw = BuildPaperImage(spec);
     if (!fw.ok()) {
       std::printf("build failed: %s\n", fw.status().ToString().c_str());
-      return 1;
+      return harness.Finish(false);
     }
     const FirmwareFile* file =
         fw->image.FindFile(spec.firmware.binary_path);
     auto binary = BinaryLoader::Load(file->bytes);
-    DTaint detector;
-    auto report = spec.focus.empty()
-                      ? detector.Analyze(*binary)
-                      : detector.AnalyzeFunctions(*binary, spec.focus);
+    Result<AnalysisReport> report = InvalidArgument("not analyzed");
+    DetectionScore score;
+    // One run per image: the full detection pipeline, with detection
+    // quality captured as deterministic counts and the pipeline's
+    // phase split (summary/ddg) as gated time metrics.
+    harness.Run(spec.firmware.vendor + "_" + spec.firmware.product,
+                [&](bench::Rep& rep) {
+                  DTaint detector;
+                  report = spec.focus.empty()
+                               ? detector.Analyze(*binary)
+                               : detector.AnalyzeFunctions(*binary,
+                                                           spec.focus);
+                  if (!report.ok()) return;
+                  score = ScoreFindings(report->findings, fw->ground_truth);
+                  rep.Value("total_seconds", report->total_seconds);
+                  rep.Value("ssa_seconds", report->ssa_seconds);
+                  rep.Value("ddg_seconds", report->ddg_seconds);
+                  rep.Value("analyzed_functions",
+                            static_cast<double>(report->analyzed_functions));
+                  rep.Value("sinks",
+                            static_cast<double>(report->sink_count));
+                  rep.Value("vuln_paths",
+                            static_cast<double>(report->vulnerable_paths));
+                  rep.Value("true_positives",
+                            static_cast<double>(score.true_positives));
+                  rep.Value("false_negatives",
+                            static_cast<double>(score.false_negatives));
+                  rep.Value("false_positives",
+                            static_cast<double>(score.false_positives +
+                                                score.safe_twin_hits));
+                });
     if (!report.ok()) {
       std::printf("analysis failed: %s\n",
                   report.status().ToString().c_str());
-      return 1;
+      return harness.Finish(false);
     }
-    DetectionScore score =
-        ScoreFindings(report->findings, fw->ground_truth);
 
     std::string label = spec.firmware.vendor + " " + spec.firmware.product;
     table.AddRow({label, std::to_string(report->analyzed_functions),
@@ -80,5 +107,5 @@ int main() {
               "ground truth):\n%s\n",
               table.Render().c_str());
   std::printf("paper-reported:\n%s", paper.Render().c_str());
-  return 0;
+  return harness.Finish(true);
 }

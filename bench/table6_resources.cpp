@@ -16,6 +16,7 @@
 #include "src/core/pathfinder.h"
 #include "src/core/sanitizer.h"
 #include "src/core/structsim.h"
+#include "src/obs/bench.h"
 #include "src/report/table.h"
 #include "src/synth/paper_images.h"
 #include "src/util/strings.h"
@@ -46,34 +47,57 @@ double WallNow() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness("table6_resources", argc, argv);
   std::printf("=== Table VI: CPU, memory and time usage ===\n\n");
 
   // Largest image: Hikvision-shaped centaurus.
   auto specs = PaperImageSpecs();
   const PaperImageSpec& spec = specs.back();
   auto fw = BuildPaperImage(spec);
-  if (!fw.ok()) return 1;
+  if (!fw.ok()) return harness.Finish(false);
   const FirmwareFile* file = fw->image.FindFile(spec.firmware.binary_path);
   auto binary = BinaryLoader::Load(file->bytes);
 
   // Phase 1: lifting + static symbolic analysis (SSA).
+  // Both phases record CPU share (_pct) and RSS growth (_mb) as
+  // informational values — they vary with the host, so the regression
+  // gate never holds them — plus deterministic result counts.
   double cpu0 = CpuSeconds(), wall0 = WallNow(), mem0 = RssMb();
-  CfgBuilder builder(*binary);
-  Program program = std::move(*builder.BuildProgram());
+  Program program;
   SymEngine engine(*binary);
-  CallGraph graph = CallGraph::Build(program);
-  ProgramAnalysis analysis = RunBottomUp(program, graph, engine);
+  ProgramAnalysis analysis;
+  harness.Run("ssa_phase", [&](bench::Rep& rep) {
+    CfgBuilder b(*binary);
+    program = std::move(*b.BuildProgram());
+    CallGraph graph = CallGraph::Build(program);
+    analysis = RunBottomUp(program, graph, engine);
+    double cpu = CpuSeconds(), wall = WallNow(), mem = RssMb();
+    rep.Value("cpu_pct",
+              wall - wall0 <= 0 ? 0.0 : 100.0 * (cpu - cpu0) / (wall - wall0));
+    rep.Value("rss_growth_mb", mem - mem0);
+  });
   double cpu1 = CpuSeconds(), wall1 = WallNow(), mem1 = RssMb();
 
   // Phase 2: data-flow generation (indirect-call resolution, linking,
   // path search, sanitization).
-  auto resolutions = ResolveIndirectCalls(program, analysis.summaries);
-  CallGraph graph2 = CallGraph::Build(program);
-  ProgramAnalysis linked = RunBottomUp(program, graph2, engine);
-  PathFinder finder(program, linked);
-  auto paths = finder.FindAll();
-  auto vulns = FilterVulnerable(paths);
+  std::vector<IndirectResolution> resolutions;
+  std::vector<TaintPath> paths, vulns;
+  harness.Run("ddg_phase", [&](bench::Rep& rep) {
+    resolutions = ResolveIndirectCalls(program, analysis.summaries);
+    CallGraph graph2 = CallGraph::Build(program);
+    ProgramAnalysis linked = RunBottomUp(program, graph2, engine);
+    PathFinder finder(program, linked);
+    paths = finder.FindAll();
+    vulns = FilterVulnerable(paths);
+    double cpu = CpuSeconds(), wall = WallNow(), mem = RssMb();
+    rep.Value("cpu_pct",
+              wall - wall1 <= 0 ? 0.0 : 100.0 * (cpu - cpu1) / (wall - wall1));
+    rep.Value("rss_growth_mb", mem - mem1);
+    rep.Value("paths", static_cast<double>(paths.size()));
+    rep.Value("vulnerable", static_cast<double>(vulns.size()));
+    rep.Value("indirect_resolved", static_cast<double>(resolutions.size()));
+  });
   double cpu2 = CpuSeconds(), wall2 = WallNow(), mem2 = RssMb();
 
   TextTable table({"Phase", "CPU usage", "Peak RSS", "Wall time"});
@@ -102,5 +126,7 @@ int main() {
   std::printf("(paths found: %zu, vulnerable: %zu, indirect resolved: "
               "%zu)\n",
               paths.size(), vulns.size(), resolutions.size());
-  return 0;
+  // The shape check above is advisory (RSS deltas are noisy on small
+  // synthetic images); exit status matches the original bench.
+  return harness.Finish(true);
 }

@@ -16,6 +16,7 @@
 #include "src/baseline/worklist_ddg.h"
 #include "src/binary/loader.h"
 #include "src/core/dtaint.h"
+#include "src/obs/bench.h"
 #include "src/obs/stopwatch.h"
 #include "src/report/table.h"
 #include "src/synth/firmware_synth.h"
@@ -57,7 +58,8 @@ struct ProgramUnderTest {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness("table7_time_cost", argc, argv);
   std::printf("=== Table VII: time cost, Angr-like baseline vs DTaint "
               "===\n\n");
 
@@ -71,7 +73,7 @@ int main() {
     }
     if (spec.firmware.product == "DIR-890L") continue;  // one cgibin
     auto fw = BuildPaperImage(spec);
-    if (!fw.ok()) return 1;
+    if (!fw.ok()) return harness.Finish(false);
     const FirmwareFile* file =
         fw->image.FindFile(spec.firmware.binary_path);
     auto binary = BinaryLoader::Load(file->bytes);
@@ -79,7 +81,7 @@ int main() {
   }
   {
     auto out = SynthesizeBinary(OpensslSpec());
-    if (!out.ok()) return 1;
+    if (!out.ok()) return harness.Finish(false);
     programs.push_back({"openssl", std::move(out->binary)});
   }
 
@@ -93,45 +95,66 @@ int main() {
   paper.AddRow({"openssl", "102.94", "7345.56", "47.33", "3.09"});
 
   for (const ProgramUnderTest& put : programs) {
-    // ---- DTaint ----------------------------------------------------------
-    DTaint detector;
-    auto report = detector.Analyze(put.binary);
-    if (!report.ok()) return 1;
+    // One run per program carrying both sides of the comparison: the
+    // four *_seconds values are ratio-gated, the speedup informational,
+    // the baseline's context/edge totals deterministic counts.
+    Result<AnalysisReport> report = InvalidArgument("not analyzed");
+    BaselineStats ddg;
+    double baseline_ssa = 0.0;
+    size_t program_functions = 0;
+    harness.Run(put.label, [&](bench::Rep& rep) {
+      // ---- DTaint --------------------------------------------------------
+      DTaint detector;
+      report = detector.Analyze(put.binary);
+      if (!report.ok()) return;
 
-    // ---- baseline SSA -----------------------------------------------------
-    // Angr's per-function symbolic pass explores with a richer state
-    // budget (it tracks every variable and does not prune with the
-    // loop-once heuristic as aggressively); modeled here as the same
-    // engine with a doubled path budget, run once per function.
-    obs::Stopwatch ssa_watch;
-    CfgBuilder builder(put.binary);
-    Program program = std::move(*builder.BuildProgram());
-    EngineConfig heavy;
-    heavy.max_paths = 96;
-    heavy.max_block_visits = 8192;
-    SymEngine heavy_engine(put.binary, heavy);
-    for (const auto& [_, fn] : program.functions) {
-      (void)heavy_engine.Analyze(fn);
-    }
-    double baseline_ssa = ssa_watch.Seconds();
+      // ---- baseline SSA --------------------------------------------------
+      // Angr's per-function symbolic pass explores with a richer state
+      // budget (it tracks every variable and does not prune with the
+      // loop-once heuristic as aggressively); modeled here as the same
+      // engine with a doubled path budget, run once per function.
+      obs::Stopwatch ssa_watch;
+      CfgBuilder builder(put.binary);
+      Program program = std::move(*builder.BuildProgram());
+      program_functions = program.functions.size();
+      EngineConfig heavy;
+      heavy.max_paths = 96;
+      heavy.max_block_visits = 8192;
+      SymEngine heavy_engine(put.binary, heavy);
+      for (const auto& [_, fn] : program.functions) {
+        (void)heavy_engine.Analyze(fn);
+      }
+      baseline_ssa = ssa_watch.Seconds();
 
-    // ---- baseline DDG -----------------------------------------------------
-    // The worklist interprocedural pass: per (function, callsite-chain)
-    // context it re-derives the function's data flows (a fresh symbolic
-    // pass per context — "the same callee [is] analyzed multiple
-    // times") and iterates reaching definitions over every register and
-    // memory variable to fixpoint.
-    BaselineConfig config;
-    config.context_depth = 3;
-    config.max_contexts = 50000;
-    obs::Stopwatch ddg_watch;
-    BaselineStats ddg = RunWorklistDdg(program, {"main"}, config);
-    SymEngine engine(put.binary);
-    for (const std::string& fn_name : ddg.context_functions) {
-      const Function* fn = program.FindFunction(fn_name);
-      if (fn) (void)engine.Analyze(*fn);
-    }
-    ddg.seconds = ddg_watch.Seconds();
+      // ---- baseline DDG --------------------------------------------------
+      // The worklist interprocedural pass: per (function, callsite-chain)
+      // context it re-derives the function's data flows (a fresh symbolic
+      // pass per context — "the same callee [is] analyzed multiple
+      // times") and iterates reaching definitions over every register and
+      // memory variable to fixpoint.
+      BaselineConfig config;
+      config.context_depth = 3;
+      config.max_contexts = 50000;
+      obs::Stopwatch ddg_watch;
+      ddg = RunWorklistDdg(program, {"main"}, config);
+      SymEngine engine(put.binary);
+      for (const std::string& fn_name : ddg.context_functions) {
+        const Function* fn = program.FindFunction(fn_name);
+        if (fn) (void)engine.Analyze(*fn);
+      }
+      ddg.seconds = ddg_watch.Seconds();
+
+      rep.Value("dtaint_ssa_seconds", report->ssa_seconds);
+      rep.Value("dtaint_ddg_seconds", report->ddg_seconds);
+      rep.Value("baseline_ssa_seconds", baseline_ssa);
+      rep.Value("baseline_ddg_seconds", ddg.seconds);
+      rep.Value("ddg_speedup", report->ddg_seconds > 0
+                                   ? ddg.seconds / report->ddg_seconds
+                                   : 0.0);
+      rep.Value("contexts", static_cast<double>(ddg.contexts_analyzed));
+      rep.Value("dep_edges", static_cast<double>(ddg.dependence_edges));
+    });
+    if (!report.ok()) return harness.Finish(false);
 
     double speedup =
         report->ddg_seconds > 0 ? ddg.seconds / report->ddg_seconds : 0;
@@ -143,7 +166,7 @@ int main() {
     std::printf("  %-10s baseline: %zu contexts (%zu unique fns), %s "
                 "block executions, %s dep edges%s\n",
                 put.label.c_str(), ddg.contexts_analyzed,
-                program.functions.size(),
+                program_functions,
                 WithCommas(ddg.block_executions).c_str(),
                 WithCommas(ddg.dependence_edges).c_str(),
                 ddg.budget_exhausted ? " (budget hit)" : "");
@@ -155,5 +178,5 @@ int main() {
   std::printf("shape to hold: DTaint DDG is dramatically cheaper than the "
               "worklist baseline;\nSSA moderately cheaper (each function "
               "analyzed once vs once per context).\n");
-  return 0;
+  return harness.Finish(true);
 }

@@ -1,0 +1,259 @@
+#include "src/obs/benchdiff.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/obs/bench.h"
+#include "src/util/strings.h"
+
+namespace dtaint::bench {
+
+namespace {
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+const char* StatusName(DiffStatus status) {
+  switch (status) {
+    case DiffStatus::kOk: return "ok";
+    case DiffStatus::kImproved: return "improved";
+    case DiffStatus::kBelowFloor: return "below-floor";
+    case DiffStatus::kInfo: return "info";
+    case DiffStatus::kRegressed: return "REGRESSED";
+    case DiffStatus::kChanged: return "CHANGED";
+    case DiffStatus::kMissing: return "MISSING";
+    case DiffStatus::kNew: return "new";
+  }
+  return "?";
+}
+
+bool Fails(DiffStatus status) {
+  return status == DiffStatus::kRegressed ||
+         status == DiffStatus::kChanged || status == DiffStatus::kMissing;
+}
+
+/// Integral values print as integers, everything else with enough
+/// decimals for sub-millisecond times.
+std::string FmtValue(double v) {
+  if (std::nearbyint(v) == v && std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  return FmtDouble(v, 6);
+}
+
+/// One run's comparable scalars: wall_seconds + the "values" object.
+Result<std::map<std::string, double, std::less<>>> RunMetrics(
+    const JsonValue& run) {
+  std::map<std::string, double, std::less<>> metrics;
+  const JsonValue* wall = run.Find("wall_seconds");
+  if (!wall || !wall->is_number()) {
+    return InvalidArgument("run is missing wall_seconds");
+  }
+  metrics["wall_seconds"] = wall->number();
+  const JsonValue* values = run.Find("values");
+  if (!values || !values->is_object()) {
+    return InvalidArgument("run is missing the values object");
+  }
+  for (const auto& [name, value] : values->object()) {
+    if (!value.is_number()) {
+      return InvalidArgument("non-numeric value metric: " + name);
+    }
+    metrics[name] = value.number();
+  }
+  return metrics;
+}
+
+struct ParsedDoc {
+  std::string bench;
+  // run name -> metric name -> value, in document order of runs.
+  std::vector<std::pair<std::string,
+                        std::map<std::string, double, std::less<>>>> runs;
+};
+
+Result<ParsedDoc> ParseDoc(const JsonValue& doc, const char* which) {
+  if (!doc.is_object()) {
+    return InvalidArgument(std::string(which) +
+                           " document is not a JSON object");
+  }
+  const JsonValue* version = doc.Find("schema_version");
+  if (!version || !version->is_number()) {
+    return InvalidArgument(std::string(which) +
+                           " document has no schema_version");
+  }
+  if (static_cast<int>(version->number()) != kBenchSchemaVersion) {
+    return InvalidArgument(
+        std::string(which) + " document has schema_version " +
+        FmtValue(version->number()) + ", this build understands " +
+        std::to_string(kBenchSchemaVersion));
+  }
+  const JsonValue* bench = doc.Find("bench");
+  const JsonValue* runs = doc.Find("runs");
+  if (!bench || !bench->is_string() || !runs || !runs->is_array()) {
+    return InvalidArgument(std::string(which) +
+                           " document is missing bench/runs");
+  }
+  ParsedDoc parsed;
+  parsed.bench = bench->string();
+  for (const JsonValue& run : runs->array()) {
+    const JsonValue* name = run.Find("name");
+    if (!name || !name->is_string()) {
+      return InvalidArgument(std::string(which) + " run has no name");
+    }
+    auto metrics = RunMetrics(run);
+    if (!metrics.ok()) return metrics.status();
+    parsed.runs.emplace_back(name->string(), std::move(*metrics));
+  }
+  return parsed;
+}
+
+}  // namespace
+
+MetricClass ClassifyMetric(std::string_view name) {
+  if (EndsWith(name, "_ratio") || EndsWith(name, "_speedup") ||
+      EndsWith(name, "_pct") || EndsWith(name, "_mb")) {
+    return MetricClass::kInformational;
+  }
+  if (name == "wall_seconds" || EndsWith(name, "_seconds")) {
+    return MetricClass::kTimeSeconds;
+  }
+  if (EndsWith(name, "_nanos")) return MetricClass::kTimeNanos;
+  return MetricClass::kCount;
+}
+
+bool DiffReport::HasRegression() const {
+  for (const MetricDelta& row : rows) {
+    if (Fails(row.status)) return true;
+  }
+  return false;
+}
+
+std::string DiffReport::ToMarkdown(bool only_notable) const {
+  std::string out =
+      "| run | metric | baseline | current | ratio | status |\n"
+      "|---|---|---:|---:|---:|---|\n";
+  size_t shown = 0;
+  for (const MetricDelta& row : rows) {
+    if (only_notable && (row.status == DiffStatus::kOk ||
+                         row.status == DiffStatus::kBelowFloor ||
+                         row.status == DiffStatus::kInfo)) {
+      continue;
+    }
+    ++shown;
+    out += "| " + row.run + " | " + row.metric + " | " +
+           FmtValue(row.baseline) + " | " + FmtValue(row.current) + " | " +
+           (row.ratio > 0 ? FmtDouble(row.ratio, 2) + "x" : "-") + " | " +
+           StatusName(row.status) + " |\n";
+  }
+  if (shown == 0) out += "| - | - | - | - | - | all ok |\n";
+  return out;
+}
+
+Result<DiffReport> DiffBenchDocs(const JsonValue& baseline,
+                                 const JsonValue& current,
+                                 const DiffOptions& options) {
+  auto base = ParseDoc(baseline, "baseline");
+  if (!base.ok()) return base.status();
+  auto cur = ParseDoc(current, "current");
+  if (!cur.ok()) return cur.status();
+  if (base->bench != cur->bench) {
+    return InvalidArgument("bench name mismatch: baseline is '" +
+                           base->bench + "', current is '" + cur->bench +
+                           "'");
+  }
+
+  auto find_run = [](const ParsedDoc& doc, const std::string& name)
+      -> const std::map<std::string, double, std::less<>>* {
+    for (const auto& [run_name, metrics] : doc.runs) {
+      if (run_name == name) return &metrics;
+    }
+    return nullptr;
+  };
+
+  DiffReport report;
+  auto add = [&](const std::string& run, const std::string& metric,
+                 double base_v, double cur_v, double ratio,
+                 DiffStatus status) {
+    MetricDelta row;
+    row.bench = cur->bench;
+    row.run = run;
+    row.metric = metric;
+    row.baseline = base_v;
+    row.current = cur_v;
+    row.ratio = ratio;
+    row.status = status;
+    report.rows.push_back(std::move(row));
+  };
+
+  for (const auto& [run_name, base_metrics] : base->runs) {
+    const auto* cur_metrics = find_run(*cur, run_name);
+    if (!cur_metrics) {
+      if (!options.allow_missing) add(run_name, "*", 0, 0, 0,
+                                      DiffStatus::kMissing);
+      continue;
+    }
+    for (const auto& [metric, base_v] : base_metrics) {
+      auto it = cur_metrics->find(metric);
+      if (it == cur_metrics->end()) {
+        if (!options.allow_missing) add(run_name, metric, base_v, 0, 0,
+                                        DiffStatus::kMissing);
+        continue;
+      }
+      double cur_v = it->second;
+      double ratio = base_v != 0.0 ? cur_v / base_v : 0.0;
+      DiffStatus status = DiffStatus::kOk;
+      switch (ClassifyMetric(metric)) {
+        case MetricClass::kInformational:
+          status = DiffStatus::kInfo;
+          break;
+        case MetricClass::kTimeSeconds:
+        case MetricClass::kTimeNanos: {
+          double floor = ClassifyMetric(metric) == MetricClass::kTimeNanos
+                             ? options.noise_floor_nanos
+                             : options.noise_floor_seconds;
+          if (base_v < floor && cur_v < floor) {
+            status = DiffStatus::kBelowFloor;
+          } else if (base_v == 0.0 ||
+                     ratio > options.time_threshold) {
+            status = DiffStatus::kRegressed;
+          } else if (ratio < 1.0 / options.time_threshold) {
+            status = DiffStatus::kImproved;
+          }
+          break;
+        }
+        case MetricClass::kCount: {
+          double scale = std::max(std::fabs(base_v), 1e-12);
+          if (std::fabs(cur_v - base_v) / scale > options.value_rel_tol) {
+            status = DiffStatus::kChanged;
+          }
+          break;
+        }
+      }
+      add(run_name, metric, base_v, cur_v, ratio, status);
+    }
+    for (const auto& [metric, cur_v] : *cur_metrics) {
+      if (base_metrics.find(metric) == base_metrics.end()) {
+        add(run_name, metric, 0, cur_v, 0, DiffStatus::kNew);
+      }
+    }
+  }
+  for (const auto& [run_name, metrics] : cur->runs) {
+    if (!find_run(*base, run_name)) {
+      add(run_name, "*", 0, 0, 0, DiffStatus::kNew);
+    }
+  }
+  return report;
+}
+
+Result<DiffReport> DiffBenchJson(std::string_view baseline_text,
+                                 std::string_view current_text,
+                                 const DiffOptions& options) {
+  auto base = ParseJson(baseline_text);
+  if (!base.ok()) return base.status();
+  auto cur = ParseJson(current_text);
+  if (!cur.ok()) return cur.status();
+  return DiffBenchDocs(*base, *cur, options);
+}
+
+}  // namespace dtaint::bench

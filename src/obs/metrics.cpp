@@ -40,12 +40,40 @@ uint64_t Histogram::ValueAtQuantile(double q) const {
 }
 
 HistogramStats Histogram::Stats() const {
+  std::vector<uint64_t> buckets(kBuckets);
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return HistogramStatsFromBuckets(std::move(buckets), Sum(), Max());
+}
+
+HistogramStats HistogramStatsFromBuckets(std::vector<uint64_t> buckets,
+                                         uint64_t sum, uint64_t max_clamp) {
   HistogramStats stats;
-  stats.count = Count();
-  stats.sum = Sum();
-  stats.max = Max();
-  stats.p50 = ValueAtQuantile(0.5);
-  stats.p95 = ValueAtQuantile(0.95);
+  stats.sum = sum;
+  stats.max = max_clamp;
+  for (uint64_t b : buckets) stats.count += b;
+  auto quantile = [&](double q) -> uint64_t {
+    if (stats.count == 0) return 0;
+    uint64_t rank =
+        static_cast<uint64_t>(q * static_cast<double>(stats.count));
+    if (rank == 0) rank = 1;
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      cumulative += buckets[i];
+      if (cumulative >= rank) {
+        uint64_t upper =
+            i == 0 ? 0 : (i >= 64 ? UINT64_MAX : (uint64_t{1} << i) - 1);
+        return std::min(upper, max_clamp);
+      }
+    }
+    return max_clamp;
+  };
+  stats.p50 = quantile(0.5);
+  stats.p90 = quantile(0.9);
+  stats.p95 = quantile(0.95);
+  stats.p99 = quantile(0.99);
+  stats.buckets = std::move(buckets);
   return stats;
 }
 
@@ -60,6 +88,24 @@ MetricsSnapshot MetricsSnapshot::DeltaSince(
   for (auto& [name, value] : delta.counters) {
     uint64_t prior = before.CounterValue(name);
     value = value >= prior ? value - prior : 0;
+  }
+  for (auto& [name, stats] : delta.histograms) {
+    auto it = before.histograms.find(name);
+    if (it == before.histograms.end()) continue;
+    const HistogramStats& prior = it->second;
+    // Bucket-wise subtraction needs raw buckets on both sides;
+    // hand-built snapshots without them keep cumulative values.
+    if (stats.buckets.empty() || prior.buckets.empty() ||
+        stats.buckets.size() != prior.buckets.size()) {
+      continue;
+    }
+    std::vector<uint64_t> diff = stats.buckets;
+    for (size_t i = 0; i < diff.size(); ++i) {
+      uint64_t b = prior.buckets[i];
+      diff[i] = diff[i] >= b ? diff[i] - b : 0;
+    }
+    uint64_t sum = stats.sum >= prior.sum ? stats.sum - prior.sum : 0;
+    stats = HistogramStatsFromBuckets(std::move(diff), sum, stats.max);
   }
   return delta;
 }
@@ -90,7 +136,9 @@ std::string MetricsSnapshotToJson(const MetricsSnapshot& snapshot) {
            ",\"sum\":" + std::to_string(h.sum) +
            ",\"max\":" + std::to_string(h.max) +
            ",\"p50\":" + std::to_string(h.p50) +
-           ",\"p95\":" + std::to_string(h.p95) + '}';
+           ",\"p90\":" + std::to_string(h.p90) +
+           ",\"p95\":" + std::to_string(h.p95) +
+           ",\"p99\":" + std::to_string(h.p99) + '}';
   }
   out += "}}";
   return out;
@@ -135,6 +183,24 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
              .first;
   }
   return *it->second;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) {
+    c->value_.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, g] : gauges_) {
+    g->value_.store(0.0, std::memory_order_relaxed);
+  }
+  for (auto& [name, h] : histograms_) {
+    for (auto& bucket : h->buckets_) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    h->count_.store(0, std::memory_order_relaxed);
+    h->sum_.store(0, std::memory_order_relaxed);
+    h->max_.store(0, std::memory_order_relaxed);
+  }
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {

@@ -22,6 +22,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace dtaint::obs {
 
@@ -65,10 +66,25 @@ struct HistogramStats {
   uint64_t sum = 0;
   uint64_t max = 0;
   uint64_t p50 = 0;
+  uint64_t p90 = 0;
   uint64_t p95 = 0;
+  uint64_t p99 = 0;
+
+  /// Raw power-of-two bucket counts (Histogram::kBuckets entries when
+  /// captured from a registry, empty when hand-built). Not serialized;
+  /// carried so MetricsSnapshot::DeltaSince can subtract histograms
+  /// bucket-wise instead of leaking cumulative quantiles across runs.
+  std::vector<uint64_t> buckets;
 
   bool operator==(const HistogramStats&) const = default;
 };
+
+/// Recomputes count + quantiles from raw bucket counts. Quantiles are
+/// bucket upper bounds clamped to `max_clamp` (the exact observed max
+/// for a live histogram; the cumulative max for a delta, where the
+/// true per-interval max is unknowable — still a sound upper bound).
+HistogramStats HistogramStatsFromBuckets(std::vector<uint64_t> buckets,
+                                         uint64_t sum, uint64_t max_clamp);
 
 /// Log-scale (power-of-two bucket) histogram of non-negative integer
 /// samples: bucket i holds values with bit_width == i, i.e. bucket 0 is
@@ -110,8 +126,12 @@ struct MetricsSnapshot {
   /// Counter value by name; 0 when absent.
   uint64_t CounterValue(std::string_view name) const;
 
-  /// Per-run view: counters become deltas against `before`; gauges and
-  /// histograms keep this snapshot's (current) values.
+  /// Per-run view: counters become deltas against `before`; histograms
+  /// are subtracted bucket-wise (count/sum/quantiles recomputed over
+  /// the interval's samples only, max kept as the cumulative upper
+  /// bound) when both snapshots carry raw buckets, so successive runs
+  /// against one registry don't contaminate each other's quantiles;
+  /// gauges keep this snapshot's (current) values.
   MetricsSnapshot DeltaSince(const MetricsSnapshot& before) const;
 
   bool operator==(const MetricsSnapshot&) const = default;
@@ -119,8 +139,9 @@ struct MetricsSnapshot {
 
 /// Serializes a snapshot as
 /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,max,
-/// p50,p95}}} — the payload of --metrics-out and of the report's
-/// "metrics" object.
+/// p50,p90,p95,p99}}} — the payload of --metrics-out, of the report's
+/// "metrics" object, and of each bench run's "metrics" block. Raw
+/// buckets are intentionally not serialized.
 std::string MetricsSnapshotToJson(const MetricsSnapshot& snapshot);
 
 class MetricsRegistry {
@@ -146,6 +167,13 @@ class MetricsRegistry {
 
   MetricsSnapshot Snapshot() const;
   std::string ToJson() const { return MetricsSnapshotToJson(Snapshot()); }
+
+  /// Zeroes every registered instrument (handles stay valid). The
+  /// scoped-reset alternative to snapshot/delta isolation: bench reps
+  /// that want pristine counters call this between reps instead of
+  /// carrying `before` snapshots around. Not safe while workers are
+  /// concurrently mutating instruments — call between runs, not during.
+  void Reset();
 
  private:
   std::atomic<bool> enabled_{true};

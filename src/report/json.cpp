@@ -1,84 +1,11 @@
 #include "src/report/json.h"
 
-#include <cstdio>
-
+#include "src/util/json_writer.h"
 #include "src/util/strings.h"
 
 namespace dtaint {
 
 namespace {
-
-/// Tiny append-only JSON builder: tracks comma placement per nesting
-/// level so call sites stay linear.
-class JsonBuilder {
- public:
-  std::string Take() && { return std::move(out_); }
-
-  void BeginObject() { Open('{'); }
-  void EndObject() { Close('}'); }
-  void BeginArray() { Open('['); }
-  void EndArray() { Close(']'); }
-
-  void Key(std::string_view name) {
-    Comma();
-    out_ += '"';
-    out_ += JsonEscape(name);
-    out_ += "\":";
-    just_keyed_ = true;
-  }
-  void String(std::string_view value) {
-    Comma();
-    out_ += '"';
-    out_ += JsonEscape(value);
-    out_ += '"';
-  }
-  void Number(uint64_t value) {
-    Comma();
-    out_ += std::to_string(value);
-  }
-  void Number(double value) {
-    Comma();
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.6f", value);
-    out_ += buf;
-  }
-  void Bool(bool value) {
-    Comma();
-    out_ += value ? "true" : "false";
-  }
-  /// Splices a pre-serialized JSON value (e.g. MetricsSnapshotToJson
-  /// output) in as one element.
-  void Raw(std::string_view json) {
-    Comma();
-    out_ += json;
-  }
-
- private:
-  void Open(char c) {
-    Comma();
-    out_ += c;
-    need_comma_.push_back(false);
-  }
-  void Close(char c) {
-    out_ += c;
-    need_comma_.pop_back();
-    if (!need_comma_.empty()) need_comma_.back() = true;
-  }
-  void Comma() {
-    if (just_keyed_) {
-      just_keyed_ = false;
-      return;
-    }
-    if (!need_comma_.empty()) {
-      if (need_comma_.back()) out_ += ',';
-      need_comma_.back() = true;
-    }
-  }
-
-  std::string out_;
-  std::vector<bool> need_comma_;
-  bool just_keyed_ = false;
-};
 
 /// Emits one finding object (shared by ReportToJson and
 /// FindingsToJson so the two stay schema-identical).

@@ -115,7 +115,17 @@ TEST(Histogram, QuantilesAreDeterministic) {
   EXPECT_EQ(stats.count, 1000u);
   EXPECT_EQ(stats.sum, 500500u);
   EXPECT_EQ(stats.p50, 511u);
+  // Rank 900 lands in bucket 10 ([512, 1023]), clamped to max 1000 —
+  // same bucket as p95/p99 at this sample size.
+  EXPECT_EQ(stats.p90, 1000u);
   EXPECT_EQ(stats.p95, 1000u);
+  EXPECT_EQ(stats.p99, 1000u);
+  // Stats() carries the raw buckets so snapshots can subtract them.
+  ASSERT_EQ(stats.buckets.size(),
+            static_cast<size_t>(obs::Histogram::kBuckets));
+  EXPECT_EQ(stats.buckets[0], 0u);
+  EXPECT_EQ(stats.buckets[1], 1u);  // {1}
+  EXPECT_EQ(stats.buckets[2], 2u);  // {2, 3}
 }
 
 TEST(Histogram, EdgeValues) {
@@ -147,6 +157,43 @@ TEST(MetricsSnapshot, DeltaSinceSubtractsCounters) {
   EXPECT_EQ(delta.histograms.at("h").count, 1u);
 }
 
+TEST(MetricsSnapshot, DeltaSinceSubtractsHistogramsBucketWise) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("lat");
+  // Run 1: a thousand large samples push the cumulative p50 to 511.
+  for (uint64_t v = 1; v <= 1000; ++v) h.Observe(v);
+  obs::MetricsSnapshot before = registry.Snapshot();
+  // Run 2: three tiny samples. Without bucket-wise subtraction the
+  // delta would report run 1's quantiles (cross-run contamination).
+  h.Observe(1);
+  h.Observe(2);
+  h.Observe(3);
+  obs::MetricsSnapshot delta = registry.Snapshot().DeltaSince(before);
+  const obs::HistogramStats& stats = delta.histograms.at("lat");
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_EQ(stats.sum, 6u);
+  // Quantiles recomputed over this run's 3 samples only (rank
+  // max(1, floor(q*n)): p50 -> rank 1 -> bucket {1}); without
+  // bucket-wise subtraction they'd still report run 1's p50 of 511.
+  EXPECT_EQ(stats.p50, 1u);
+  EXPECT_EQ(stats.p99, 3u);
+}
+
+TEST(MetricsRegistry, ResetZeroesInstrumentsKeepsHandles) {
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.counter("c");
+  obs::Histogram& histogram = registry.histogram("h");
+  counter.Add(7);
+  histogram.Observe(100);
+  registry.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(histogram.Count(), 0u);
+  EXPECT_EQ(histogram.Sum(), 0u);
+  EXPECT_EQ(histogram.ValueAtQuantile(0.5), 0u);
+  counter.Add(2);  // the handle survives the reset
+  EXPECT_EQ(registry.Snapshot().CounterValue("c"), 2u);
+}
+
 TEST(MetricsSnapshot, JsonRoundTripsThroughParser) {
   obs::MetricsRegistry registry;
   registry.counter("cache.hits").Add(7);
@@ -170,7 +217,9 @@ TEST(MetricsSnapshot, JsonRoundTripsThroughParser) {
   ASSERT_NE(micros, nullptr);
   EXPECT_DOUBLE_EQ(micros->Find("count")->number(), 1000.0);
   EXPECT_DOUBLE_EQ(micros->Find("p50")->number(), 511.0);
+  EXPECT_DOUBLE_EQ(micros->Find("p90")->number(), 1000.0);
   EXPECT_DOUBLE_EQ(micros->Find("p95")->number(), 1000.0);
+  EXPECT_DOUBLE_EQ(micros->Find("p99")->number(), 1000.0);
 }
 
 // ------------------------------------------------------------------ trace
