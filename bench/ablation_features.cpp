@@ -48,6 +48,30 @@ Result<SynthOutput> FeatureProgram() {
   return SynthesizeBinary(spec);
 }
 
+/// A program whose function pointer is registered through an alias
+/// created across a call boundary (VulnPattern::kCrossCallAlias): the
+/// eager per-function pass never sees the linked-summary alias, so only
+/// AliasMode::kOnDemandSSE resolves the indirect call. Deliberately a
+/// separate program from FeatureProgram() — it isolates what the
+/// on-demand oracle buys instead of penalizing the full config.
+Result<SynthOutput> CrossCallProgram() {
+  ProgramSpec spec;
+  spec.name = "xcall_ab";
+  spec.arch = Arch::kDtArm;
+  spec.seed = 91;
+  spec.filler_functions = 120;
+  PlantSpec p;
+  p.id = "xc1";
+  p.pattern = VulnPattern::kCrossCallAlias;
+  p.source = "recv";
+  p.sink = "memcpy";
+  PlantSpec safe = p;
+  safe.id = "xs1";
+  safe.sanitized = true;
+  spec.plants = {p, safe};
+  return SynthesizeBinary(spec);
+}
+
 struct Row {
   const char* label;
   bool alias;
@@ -106,6 +130,64 @@ int main(int argc, char** argv) {
                   FmtDouble(report->ddg_seconds, 3)});
   }
   std::printf("%s\n", table.Render().c_str());
+
+  // Eager vs on-demand alias resolution. Two programs: the standard
+  // feature mix (detection must be identical, phase-1 time is what the
+  // deferred twin rewrite saves) and the cross-call-alias program
+  // (detection is what the oracle's linked-summary view buys).
+  std::printf("=== AliasMode: eager vs on-demand SSE ===\n\n");
+  auto xcall = CrossCallProgram();
+  if (!xcall.ok()) {
+    std::printf("synth failed: %s\n", xcall.status().ToString().c_str());
+    return harness.Finish(false);
+  }
+  struct ModeCase {
+    const char* program;
+    const SynthOutput* out;
+    AliasMode mode;
+  };
+  const ModeCase mode_cases[] = {
+      {"feature mix", &*out, AliasMode::kEager},
+      {"feature mix", &*out, AliasMode::kOnDemandSSE},
+      {"cross-call alias", &*xcall, AliasMode::kEager},
+      {"cross-call alias", &*xcall, AliasMode::kOnDemandSSE},
+  };
+  TextTable mode_table({"Program", "Mode", "TP", "FN", "Icalls resolved",
+                        "Summary (s)", "Oracle queries"});
+  for (const ModeCase& mc : mode_cases) {
+    std::string run_name = std::string(mc.program == mode_cases[0].program
+                                           ? "featuremix"
+                                           : "crosscall") +
+                           ",alias_mode=" + std::string(AliasModeName(mc.mode));
+    Result<AnalysisReport> report = InvalidArgument("not analyzed");
+    DetectionScore score;
+    harness.Run(run_name, [&](bench::Rep& rep) {
+      DTaintConfig config;
+      config.interproc.alias_mode = mc.mode;
+      report = DTaint(config).Analyze(mc.out->binary);
+      if (!report.ok()) return;
+      score = ScoreFindings(report->findings, mc.out->ground_truth);
+      rep.Value("summary_seconds", report->interproc_stats.summary_seconds);
+      rep.Value("true_positives", static_cast<double>(score.true_positives));
+      rep.Value("false_negatives",
+                static_cast<double>(score.false_negatives));
+      rep.Value("icalls_resolved",
+                static_cast<double>(report->indirect_calls_resolved));
+      rep.Value("oracle_queries",
+                static_cast<double>(
+                    report->metrics.CounterValue("alias.ondemand.queries")));
+    });
+    if (!report.ok()) return harness.Finish(false);
+    mode_table.AddRow(
+        {mc.program, std::string(AliasModeName(mc.mode)),
+         std::to_string(score.true_positives),
+         std::to_string(score.false_negatives),
+         std::to_string(report->indirect_calls_resolved),
+         FmtDouble(report->interproc_stats.summary_seconds, 3),
+         std::to_string(
+             report->metrics.CounterValue("alias.ondemand.queries"))});
+  }
+  std::printf("%s\n", mode_table.Render().c_str());
 
   // Bottom-up vs top-down interprocedural traversal.
   CfgBuilder builder(out->binary);

@@ -14,6 +14,7 @@
 #include "src/cfg/callgraph.h"
 #include "src/cfg/cfg_builder.h"
 #include "src/core/alias.h"
+#include "src/core/alias_ondemand.h"
 #include "src/core/dtaint.h"
 #include "src/core/structsim.h"
 #include "src/isa/decode.h"
@@ -226,6 +227,66 @@ void BM_AliasReplace(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AliasReplace);
+
+// ---- on-demand alias oracle queries ----------------------------------------
+//
+// Cold = first TwinsFor on a summary (fact collection + twin
+// computation, what phase 1 saves by deferring); warm = the memoized
+// path every later taint-transfer / indirect-call query takes;
+// MayAlias = a full canonicalize-and-compare query through the memo.
+
+void BM_AliasQueryColdTwins(benchmark::State& state) {
+  const Binary& bin = TestProgram().binary;
+  CfgBuilder builder(bin);
+  Program program = std::move(*builder.BuildProgram());
+  SymEngine engine(bin);
+  FunctionSummary summary =
+      engine.Analyze(program.functions.at("b1_woo"));
+  for (auto _ : state) {
+    OnDemandAliasOracle oracle;
+    benchmark::DoNotOptimize(oracle.TwinsFor(summary));
+  }
+}
+BENCHMARK(BM_AliasQueryColdTwins);
+
+void BM_AliasQueryWarmTwins(benchmark::State& state) {
+  const Binary& bin = TestProgram().binary;
+  CfgBuilder builder(bin);
+  Program program = std::move(*builder.BuildProgram());
+  SymEngine engine(bin);
+  FunctionSummary summary =
+      engine.Analyze(program.functions.at("b1_woo"));
+  OnDemandAliasOracle oracle;
+  oracle.TwinsFor(summary);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.TwinsFor(summary));
+  }
+}
+BENCHMARK(BM_AliasQueryWarmTwins);
+
+void BM_AliasQueryMayAlias(benchmark::State& state) {
+  const Binary& bin = TestProgram().binary;
+  CfgBuilder builder(bin);
+  Program program = std::move(*builder.BuildProgram());
+  SymEngine engine(bin);
+  FunctionSummary summary =
+      engine.Analyze(program.functions.at("b1_woo"));
+  OnDemandAliasOracle oracle;
+  const std::vector<AliasFact>& facts = oracle.FactsFor(summary);
+  if (facts.empty()) {
+    state.SkipWithError("no alias facts in b1_woo");
+    return;
+  }
+  // The two SSE spellings of the same cell: through the alias name and
+  // through the stored base+offset — a query that must canonicalize.
+  SymRef via_alias = SymExpr::Deref(SymAdd(facts[0].alias_loc, 0x10));
+  SymRef via_base = SymExpr::Deref(
+      SymAdd(SymAdd(facts[0].base, facts[0].offset), 0x10));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.MayAlias(summary, via_alias, via_base));
+  }
+}
+BENCHMARK(BM_AliasQueryMayAlias);
 
 void BM_LayoutSimilarity(benchmark::State& state) {
   const Binary& bin = TestProgram().binary;

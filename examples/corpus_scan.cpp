@@ -18,20 +18,26 @@
 //
 //   --deadline-ms MS / --max-steps N / --max-states N /
 //   --max-expr-nodes N   per-function analysis budget (0 = unlimited)
+//   --alias-mode MODE    "eager" (Algorithm 1 up-front rewrite) or
+//                        "ondemand" (lazy SSE queries over linked
+//                        summaries; also resolves indirect calls
+//                        through cross-call registration stores)
 //   --fail-fast          stop at the first incident, exit nonzero
 //   --json-out FILE      fleet report as JSON (images, incidents,
 //                        totals; findings via FindingsToJson so runs
 //                        are byte-comparable)
 //   --corrupt K          deterministically corrupt the first K
 //                        extractable images (resilience demos/tests)
-//
-// With `--cache-dir DIR`, one persistent function-summary cache is
-// shared across the whole fleet: identical functions in different
-// images (and the whole fleet on a re-run) are analyzed once.
-//
-// `--threads N` runs each image's intraprocedural summary phase on N
-// worker threads (profitable on multi-core hosts now that expressions
-// are hash-consed; results are identical for any thread count).
+//   --cache-dir DIR      one persistent function-summary cache shared
+//                        across the whole fleet: identical functions
+//                        in different images (and the whole fleet on a
+//                        re-run) are analyzed once; entries are keyed
+//                        by alias mode, so mixed-mode runs are safe
+//   --threads N          run each image's intraprocedural summary
+//                        phase on N worker threads (profitable on
+//                        multi-core hosts now that expressions are
+//                        hash-consed; results are identical for any
+//                        thread count)
 //
 // Observability: `--log-level LEVEL` sets the stderr log threshold,
 // `--trace-out FILE` records a fleet-wide Chrome trace (one "binary"
@@ -205,6 +211,7 @@ int main(int argc, char** argv) {
   int corrupt_count = 0;
   bool fail_fast = false;
   AnalysisBudget budget;
+  AliasMode alias_mode = AliasMode::kEager;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--fail-fast") == 0) {
       fail_fast = true;
@@ -225,6 +232,12 @@ int main(int argc, char** argv) {
       budget.max_states = std::strtoull(argv[i + 1], nullptr, 10);
     } else if (std::strcmp(argv[i], "--max-expr-nodes") == 0) {
       budget.max_expr_nodes = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--alias-mode") == 0) {
+      if (!ParseAliasMode(argv[i + 1], &alias_mode)) {
+        std::fprintf(stderr, "bad --alias-mode: %s (want eager|ondemand)\n",
+                     argv[i + 1]);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--corrupt") == 0) {
       corrupt_count = atoi(argv[i + 1]);
     } else if (std::strcmp(argv[i], "--json-out") == 0) {
@@ -350,6 +363,7 @@ int main(int argc, char** argv) {
     if (cache) config.interproc.cache = &*cache;
     config.interproc.num_threads = num_threads;
     config.interproc.budget = budget;
+    config.interproc.alias_mode = alias_mode;
     DTaint detector(config);
     auto report = detector.Analyze(*binary);
     if (!report.ok()) {

@@ -7,9 +7,17 @@
 //   dtaint_cli extract <image.dtfw>
 //   dtaint_cli inspect <image.dtfw> [function]
 //   dtaint_cli scan <image.dtfw> [--json] [--no-alias]
-//              [--no-structsim] [--threads N] [--cache-dir DIR]
+//              [--alias-mode eager|ondemand] [--no-structsim]
+//              [--threads N] [--cache-dir DIR]
 //              [--deadline-ms MS] [--max-steps N] [--max-states N]
 //              [--max-expr-nodes N] [--fail-fast]
+//
+// --alias-mode selects how pointer aliases are recognized: "eager"
+// (the paper's Algorithm 1, summaries rewritten up front) or
+// "ondemand" (lazy SSE comparison against linked summaries, which
+// also resolves indirect calls through cross-call registration
+// stores). Summaries cache separately per mode, so switching modes
+// against the same --cache-dir is safe.
 //
 // Budget flags bound per-function analysis effort (0 = unlimited); a
 // function that exhausts its budget degrades to a conservative summary
@@ -268,6 +276,13 @@ int CmdScan(int argc, char** argv) {
   DTaintConfig config;
   config.enable_alias = !HasFlag(argc, argv, "--no-alias");
   config.enable_structsim = !HasFlag(argc, argv, "--no-structsim");
+  if (const char* mode = FlagValue(argc, argv, "--alias-mode")) {
+    if (!ParseAliasMode(mode, &config.interproc.alias_mode)) {
+      DTAINT_LOG(obs::LogLevel::kError, "cli",
+                 "bad --alias-mode: %s (want eager|ondemand)", mode);
+      return 2;
+    }
+  }
   if (const char* threads = FlagValue(argc, argv, "--threads")) {
     config.interproc.num_threads = atoi(threads);
   }
@@ -355,6 +370,12 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: dtaint_cli <synth|extract|inspect|scan> ...\n"
+                 "  scan flags: [--json] [--no-alias]\n"
+                 "       [--alias-mode eager|ondemand] [--no-structsim]\n"
+                 "       [--threads N] [--cache-dir DIR] [--deadline-ms MS]\n"
+                 "       [--max-steps N] [--max-states N]\n"
+                 "       [--max-expr-nodes N] [--fail-fast]\n"
+                 "  all commands:\n"
                  "       [--log-level error|warn|info|debug]\n"
                  "       [--trace-out FILE] [--metrics-out FILE]\n");
     return 2;

@@ -4,6 +4,28 @@
 
 namespace dtaint {
 
+std::string_view AliasModeName(AliasMode mode) {
+  switch (mode) {
+    case AliasMode::kEager:
+      return "eager";
+    case AliasMode::kOnDemandSSE:
+      return "ondemand";
+  }
+  return "eager";
+}
+
+bool ParseAliasMode(std::string_view text, AliasMode* out) {
+  if (text == "eager") {
+    *out = AliasMode::kEager;
+    return true;
+  }
+  if (text == "ondemand" || text == "on-demand" || text == "ondemand-sse") {
+    *out = AliasMode::kOnDemandSSE;
+    return true;
+  }
+  return false;
+}
+
 bool IsPointerValue(const SymRef& value, const TypeMap& types) {
   if (!value) return false;
   if (IsPointerType(types.TypeOf(value))) return true;
@@ -22,15 +44,58 @@ bool IsPointerValue(const SymRef& value, const TypeMap& types) {
   }
 }
 
-AliasResult AliasReplace(FunctionSummary& summary, BudgetTracker* budget) {
-  AliasResult result;
-  if (budget && budget->exhausted()) {
-    summary.truncated = true;
-    return result;
-  }
+namespace {
 
-  // Phase 1 (Alg. 1 lines 3-12): collect ALIAS facts and the DOP set of
-  // memory definitions whose location mentions pointers.
+/// Permissive pointer gate (AliasFactPolicy::kPermissive): everything
+/// IsPointerValue accepts, plus Arg/Ret/Deref-rooted values with no
+/// type evidence. Init-register values and arithmetic residues stay
+/// excluded — treating them as pointers would fabricate facts eager
+/// mode can never have.
+bool IsPointerValuePermissive(const SymRef& value, const TypeMap& types) {
+  if (IsPointerValue(value, types)) return true;
+  auto split = SymExpr::SplitBaseOffset(value);
+  const SymRef& base = split.base ? split.base : value;
+  switch (base->kind()) {
+    case SymKind::kArg:
+    case SymKind::kRet:
+    case SymKind::kDeref:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<AliasFact> CollectAliasFacts(const FunctionSummary& summary,
+                                         AliasFactPolicy policy) {
+  // Phase 1 (Alg. 1 lines 3-12): (d.op == deref) && u is a pointer
+  // =>  ALIAS fact.
+  std::vector<AliasFact> facts;
+  for (const DefPair& dp : summary.def_pairs) {
+    if (!dp.d || dp.d->kind() != SymKind::kDeref) continue;
+    if (!dp.u) continue;
+    bool pointer = policy == AliasFactPolicy::kPermissive
+                       ? IsPointerValuePermissive(dp.u, summary.types)
+                       : IsPointerValue(dp.u, summary.types);
+    if (pointer) {
+      auto split = SymExpr::SplitBaseOffset(dp.u);
+      if (split.base) {
+        facts.push_back({dp.d, split.base, split.offset});
+      }
+    }
+  }
+  return facts;
+}
+
+std::vector<DefPair> ComputeAliasTwins(const FunctionSummary& summary,
+                                       const std::vector<AliasFact>& facts,
+                                       BudgetTracker* budget,
+                                       bool* truncated) {
+  std::vector<DefPair> additions;
+  if (facts.empty()) return additions;
+
+  // DOP set: memory definitions whose location mentions pointers.
   struct DopEntry {
     const DefPair* pair;
     std::vector<SymRef> ptrs;  // GetPtrInVar(d)
@@ -38,16 +103,9 @@ AliasResult AliasReplace(FunctionSummary& summary, BudgetTracker* budget) {
   std::vector<DopEntry> dop;
   for (const DefPair& dp : summary.def_pairs) {
     if (!dp.d || dp.d->kind() != SymKind::kDeref) continue;
-    // (d.op == deref) && u is a pointer  =>  ALIAS fact.
-    if (dp.u && IsPointerValue(dp.u, summary.types)) {
-      auto split = SymExpr::SplitBaseOffset(dp.u);
-      if (split.base) {
-        result.facts.push_back({dp.d, split.base, split.offset});
-      }
-    }
-    // d.op == deref  =>  candidate for replacement; gather the base
-    // pointers occurring inside d (e.g. deref(deref(arg0+0x58)+0xEC)
-    // contains base pointers arg0 and deref(arg0+0x58)).
+    // Gather the base pointers occurring inside d (e.g.
+    // deref(deref(arg0+0x58)+0xEC) contains base pointers arg0 and
+    // deref(arg0+0x58)).
     std::vector<SymRef> ptrs;
     SymExpr::CollectDerefs(dp.d, &ptrs, /*skip_self=*/true);
     // The innermost non-deref roots are base pointers too.
@@ -60,13 +118,12 @@ AliasResult AliasReplace(FunctionSummary& summary, BudgetTracker* budget) {
 
   // Phase 2 (lines 13-22): rewrite each DOP entry through every
   // matching alias: new_d = d.Replace(p, alias_loc - offset).
-  std::vector<DefPair> additions;
   for (const DopEntry& entry : dop) {
     for (const SymRef& ptr : entry.ptrs) {
-      for (const AliasFact& fact : result.facts) {
+      for (const AliasFact& fact : facts) {
         if (budget && budget->ChargeStep()) {
-          summary.truncated = true;
-          goto done;
+          if (truncated) *truncated = true;
+          return additions;
         }
         if (!SymExpr::Equal(fact.base, ptr)) continue;
         // Do not rewrite a location with an alias derived from itself
@@ -82,7 +139,22 @@ AliasResult AliasReplace(FunctionSummary& summary, BudgetTracker* budget) {
       }
     }
   }
-done:
+  return additions;
+}
+
+AliasResult AliasReplace(FunctionSummary& summary, BudgetTracker* budget) {
+  AliasResult result;
+  if (budget && budget->exhausted()) {
+    summary.truncated = true;
+    return result;
+  }
+
+  result.facts = CollectAliasFacts(summary);
+  bool truncated = false;
+  std::vector<DefPair> additions =
+      ComputeAliasTwins(summary, result.facts, budget, &truncated);
+  if (truncated) summary.truncated = true;
+
   result.pairs_added = additions.size();
   for (DefPair& dp : additions) {
     summary.def_pairs.push_back(std::move(dp));

@@ -1,0 +1,131 @@
+#include "src/core/alias_ondemand.h"
+
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+
+namespace dtaint {
+
+namespace {
+
+/// Canonicalization fixpoint bound: alias facts can form cycles
+/// (p stored in q's cell, q stored in p's), so rewriting runs at most
+/// this many rounds. Real chains are 1-2 deep.
+constexpr int kMaxCanonicalRounds = 8;
+
+/// One public oracle query: bumps alias.ondemand.queries, and
+/// alias.ondemand.hits when the memo already held the answer.
+void CountQuery(bool hit) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.counter("alias.ondemand.queries").Add(1);
+  if (hit) registry.counter("alias.ondemand.hits").Add(1);
+}
+
+}  // namespace
+
+OnDemandAliasOracle::OnDemandAliasOracle(const AnalysisBudget& budget)
+    : budget_(budget) {}
+
+OnDemandAliasOracle::Entry& OnDemandAliasOracle::EntryForLocked(
+    const FunctionSummary& summary) {
+  Entry& entry = memo_[summary.name];
+  if (entry.ready) return entry;
+  // Permissive policy: the oracle works on *linked* summaries, where a
+  // callee's library-signature type observations are not visible, so
+  // the eager pass's typed gate would drop facts the callee had. See
+  // AliasFactPolicy.
+  entry.facts = CollectAliasFacts(summary, AliasFactPolicy::kPermissive);
+  // Memo-table budget (AnalysisBudget::max_expr_nodes): once the
+  // retained twin-pair total crosses the limit, later functions keep
+  // an empty twin set. Conservative — fewer alias matches can only
+  // drop findings — and sticky, so one run degrades monotonically.
+  if (exhausted_ ||
+      (budget_.max_expr_nodes > 0 && memo_pairs_ >= budget_.max_expr_nodes)) {
+    if (!exhausted_) {
+      DTAINT_LOG(obs::LogLevel::kDebug, "alias",
+                 "on-demand memo budget exhausted at %zu pair(s); "
+                 "further twin sets degrade to empty",
+                 memo_pairs_);
+    }
+    exhausted_ = true;
+  } else {
+    bool truncated = false;
+    entry.twins =
+        ComputeAliasTwins(summary, entry.facts, nullptr, &truncated);
+    memo_pairs_ += entry.twins.size();
+  }
+  entry.ready = true;
+  return entry;
+}
+
+const std::vector<DefPair>& OnDemandAliasOracle::TwinsFor(
+    const FunctionSummary& summary) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = memo_.find(summary.name);
+  bool hit = it != memo_.end() && it->second.ready;
+  CountQuery(hit);
+  return (hit ? it->second : EntryForLocked(summary)).twins;
+}
+
+const std::vector<AliasFact>& OnDemandAliasOracle::FactsFor(
+    const FunctionSummary& summary) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = memo_.find(summary.name);
+  bool hit = it != memo_.end() && it->second.ready;
+  CountQuery(hit);
+  return (hit ? it->second : EntryForLocked(summary)).facts;
+}
+
+SymRef OnDemandAliasOracle::CanonicalSse(const FunctionSummary& summary,
+                                         const SymRef& expr) {
+  if (!expr) return expr;
+  // Copy out under the lock: CanonicalSse runs expression rewrites
+  // that must not hold the memo mutex.
+  std::vector<AliasFact> facts;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = memo_.find(summary.name);
+    bool hit = it != memo_.end() && it->second.ready;
+    CountQuery(hit);
+    facts = (hit ? it->second : EntryForLocked(summary)).facts;
+  }
+  SymRef cur = expr;
+  for (int round = 0; round < kMaxCanonicalRounds; ++round) {
+    SymRef next = cur;
+    for (const AliasFact& fact : facts) {
+      if (!fact.alias_loc || !fact.base) continue;
+      SymRef stored = SymAdd(fact.base, fact.offset);
+      // A fact whose stored pointer mentions its own cell would grow
+      // the expression every round — skip those (degenerate).
+      if (stored->Contains(fact.alias_loc)) continue;
+      if (!next->Contains(fact.alias_loc)) continue;
+      next = SymExpr::Replace(next, fact.alias_loc, stored);
+    }
+    if (SymExpr::Equal(next, cur)) break;
+    cur = next;
+  }
+  return cur;
+}
+
+bool OnDemandAliasOracle::MayAlias(const FunctionSummary& summary,
+                                   const SymRef& a, const SymRef& b) {
+  if (!a || !b) return false;
+  if (SymExpr::Equal(a, b)) return true;
+  return SymExpr::Equal(CanonicalSse(summary, a), CanonicalSse(summary, b));
+}
+
+size_t OnDemandAliasOracle::memo_functions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memo_.size();
+}
+
+size_t OnDemandAliasOracle::memo_pairs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memo_pairs_;
+}
+
+bool OnDemandAliasOracle::exhausted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return exhausted_;
+}
+
+}  // namespace dtaint

@@ -126,7 +126,11 @@ Result<AnalysisReport> DTaint::AnalyzeFunctions(
   obs::Stopwatch t_ddg;
   if (config_.enable_structsim) {
     obs::Span structsim_span(tracer, "phase", "structsim");
-    auto resolutions = ResolveIndirectCalls(program, analysis.summaries);
+    // In on-demand alias mode the oracle adds the SSE resolution tier:
+    // call-target SSEs matched against linked function-pointer stores
+    // and their alias twins (null oracle = eager mode, tier disabled).
+    auto resolutions = ResolveIndirectCalls(program, analysis.summaries,
+                                            analysis.alias_oracle.get());
     report.indirect_calls_resolved = resolutions.size();
     registry.counter("structsim.indirect_calls_resolved")
         .Add(report.indirect_calls_resolved);

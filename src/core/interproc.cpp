@@ -7,6 +7,7 @@
 
 #include "src/cache/summary_cache.h"
 #include "src/core/alias.h"
+#include "src/core/alias_ondemand.h"
 #include "src/resilience/fault.h"
 #include "src/symexec/intern.h"
 #include "src/obs/log.h"
@@ -84,6 +85,14 @@ SymRef RepresentativeReturn(const FunctionSummary& callee) {
   return best;
 }
 
+/// Cache-key encoding of the alias configuration: 0 = alias off,
+/// 1 = eager (the same bit the pre-mode bool mixed, so existing eager
+/// caches stay valid), 2 = on-demand SSE (summaries carry no twins).
+int AliasModeKey(const InterprocConfig& config) {
+  if (!config.apply_alias) return 0;
+  return config.alias_mode == AliasMode::kOnDemandSSE ? 2 : 1;
+}
+
 }  // namespace
 
 ProgramAnalysis RunBottomUp(const Program& program, const CallGraph& graph,
@@ -115,8 +124,8 @@ ProgramAnalysis RunBottomUp(const Program& program, const CallGraph& graph,
   uint64_t cache_hits_before = 0;
   uint64_t cache_misses_before = 0;
   if (cache) {
-    engine_fp =
-        EngineFingerprint(engine.binary(), engine.config(), config.apply_alias);
+    engine_fp = EngineFingerprint(engine.binary(), engine.config(),
+                                  AliasModeKey(config));
     cache_hits_before = registry.counter("cache.hits").Value();
     cache_misses_before = registry.counter("cache.misses").Value();
   }
@@ -124,15 +133,19 @@ ProgramAnalysis RunBottomUp(const Program& program, const CallGraph& graph,
   // Step 2 (pointer-alias recognition, Algorithm 1) runs here rather
   // than in the linking phase: it is a per-function rewrite of the
   // summary alone, so it parallelizes with the analyses and — because
-  // apply_alias is part of the engine fingerprint — its output is just
-  // as content-addressable. Caching the post-alias summary keeps the
-  // whole rewrite off the warm path.
+  // the alias mode is part of the engine fingerprint — its output is
+  // just as content-addressable. Caching the post-alias summary keeps
+  // the whole rewrite off the warm path. In on-demand mode the rewrite
+  // is skipped entirely: the oracle created after linking computes
+  // twins lazily for the functions the consumers actually query.
+  bool eager_alias =
+      config.apply_alias && config.alias_mode == AliasMode::kEager;
   auto produce = [&](const Function& fn, BudgetTracker& tracker) {
     if (FaultPlan::Global().ShouldFail(FaultSite::kSummary, fn.name)) {
       tracker.MarkInjected();
     }
     FunctionSummary summary = engine.Analyze(fn, &tracker);
-    if (config.apply_alias && !summary.degraded) {
+    if (eager_alias && !summary.degraded) {
       summary.alias_pairs = AliasReplace(summary, &tracker).pairs_added;
       // The alias rewrite can be the step that exhausts the budget;
       // degrade the whole function then — a partially-aliased summary
@@ -356,6 +369,11 @@ ProgramAnalysis RunBottomUp(const Program& program, const CallGraph& graph,
     analysis.summaries.emplace(name, std::move(summary));
   }
   link_span.Finish();
+
+  if (config.apply_alias && config.alias_mode == AliasMode::kOnDemandSSE) {
+    analysis.alias_oracle =
+        std::make_shared<OnDemandAliasOracle>(config.budget);
+  }
 
   registry.counter("summary.functions").Add(analysis.stats.functions_processed);
   registry.counter("summary.degraded").Add(analysis.stats.degraded_functions);

@@ -23,11 +23,13 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/cfg/callgraph.h"
 #include "src/cfg/cfg_builder.h"
+#include "src/core/alias.h"
 #include "src/resilience/budget.h"
 #include "src/resilience/incident.h"
 #include "src/symexec/defpairs.h"
@@ -36,9 +38,20 @@
 namespace dtaint {
 
 class SummaryCache;
+class OnDemandAliasOracle;
 
 struct InterprocConfig {
-  bool apply_alias = true;     // run Algorithm 1 on each summary
+  bool apply_alias = true;     // run the alias step at all
+  /// How the alias step runs when apply_alias is set:
+  ///  * kEager — Algorithm 1 rewrites every summary in phase 1 (the
+  ///    paper's design);
+  ///  * kOnDemandSSE — phase 1 skips the rewrite; ProgramAnalysis
+  ///    carries an OnDemandAliasOracle that answers alias queries
+  ///    lazily against the *linked* summaries (pathfinder taint
+  ///    transfer, structsim indirect-call resolution). The mode is
+  ///    part of the summary-cache fingerprint, so cached eager and
+  ///    on-demand summaries never mix.
+  AliasMode alias_mode = AliasMode::kEager;
   /// Cap on defs/uses imported per callsite (keeps linking linear on
   /// pathological fan-in).
   size_t max_imported_per_callsite = 256;
@@ -123,6 +136,11 @@ struct InterprocStats {
 struct ProgramAnalysis {
   std::map<std::string, FunctionSummary> summaries;
   InterprocStats stats;
+  /// Set iff the pass ran with AliasMode::kOnDemandSSE: the memoized
+  /// alias-query oracle consumers (pathfinder, structsim) share.
+  /// Null in eager mode — callers treat "no oracle" as "twins already
+  /// materialized in the summaries".
+  std::shared_ptr<OnDemandAliasOracle> alias_oracle;
 };
 
 /// Runs intraprocedural symbolic analysis (once per function, in

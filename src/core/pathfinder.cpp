@@ -3,6 +3,7 @@
 #include <set>
 
 #include "src/cfg/loops.h"
+#include "src/core/alias_ondemand.h"
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/util/strings.h"
@@ -133,28 +134,26 @@ class Tracer {
 
     // (a) Backward through definition pairs: any deref component of
     // the expression may have been defined elsewhere in the function
-    // (or by a linked callee summary).
+    // (or by a linked callee summary). In on-demand alias mode the
+    // alias-renamed twins are not materialized in the summary; the
+    // oracle supplies them here, at the taint-transfer site — computed
+    // over the *linked* pairs, so cross-call aliases participate.
     std::vector<SymRef> deref_parts;
     SymExpr::CollectDerefs(expr, &deref_parts);
+    const std::vector<DefPair>* twins = nullptr;
+    if (analysis_.alias_oracle) {
+      const std::vector<DefPair>& t = analysis_.alias_oracle->TwinsFor(summary);
+      if (!t.empty()) twins = &t;
+    }
     for (const SymRef& part : deref_parts) {
-      for (const DefPair& dp : summary.def_pairs) {
-        if (!dp.u || SymExpr::Equal(dp.u, expr)) continue;
-        bool covers = DefCoversUse(dp.d, part);
-        bool region = !covers && RegionDefCoversUse(dp.d, dp.u, part);
-        if (!covers && !region) continue;
-        path.hops.push_back(
-            {fn, dp.site, dp.d->ToString() + " = " + dp.u->ToString()});
-        // The defined value replaces the matched deref inside the
-        // expression; for region matches the taint covers the part.
-        SymRef next = region ? dp.u : SymExpr::Replace(expr, part, dp.u);
-        if (dp.degraded) ++degraded_hops_;
-        Walk(fn, next, path, visited, depth - 1);
-        if (dp.degraded) --degraded_hops_;
-        path.hops.pop_back();
-        if (paths_found_for_sink_ >= config_.max_paths_per_sink) {
-          path.traced_exprs.pop_back();
-          return;
-        }
+      bool stop = MatchDefs(summary.def_pairs, fn, expr, part, path, visited,
+                            depth);
+      if (!stop && twins) {
+        stop = MatchDefs(*twins, fn, expr, part, path, visited, depth);
+      }
+      if (stop) {
+        path.traced_exprs.pop_back();
+        return;
       }
     }
 
@@ -191,6 +190,32 @@ class Tracer {
       }
     }
     path.traced_exprs.pop_back();
+  }
+
+  /// Matches one deref `part` of `expr` against a span of definition
+  /// pairs (the summary's own, or the on-demand alias twins). Returns
+  /// true when the per-sink path cap was hit and the walk should stop.
+  bool MatchDefs(const std::vector<DefPair>& pairs, const std::string& fn,
+                 const SymRef& expr, const SymRef& part, TaintPath& path,
+                 std::set<std::pair<std::string, uint64_t>>& visited,
+                 int depth) {
+    for (const DefPair& dp : pairs) {
+      if (!dp.u || SymExpr::Equal(dp.u, expr)) continue;
+      bool covers = DefCoversUse(dp.d, part);
+      bool region = !covers && RegionDefCoversUse(dp.d, dp.u, part);
+      if (!covers && !region) continue;
+      path.hops.push_back(
+          {fn, dp.site, dp.d->ToString() + " = " + dp.u->ToString()});
+      // The defined value replaces the matched deref inside the
+      // expression; for region matches the taint covers the part.
+      SymRef next = region ? dp.u : SymExpr::Replace(expr, part, dp.u);
+      if (dp.degraded) ++degraded_hops_;
+      Walk(fn, next, path, visited, depth - 1);
+      if (dp.degraded) --degraded_hops_;
+      path.hops.pop_back();
+      if (paths_found_for_sink_ >= config_.max_paths_per_sink) return true;
+    }
+    return false;
   }
 
   const Program& program_;

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <set>
 
+#include "src/core/alias_ondemand.h"
+#include "src/core/pathfinder.h"
 #include "src/obs/log.h"
+#include "src/obs/metrics.h"
 
 namespace dtaint {
 
@@ -179,8 +182,8 @@ std::vector<std::string> AddressTakenFunctions(const Program& program) {
 }
 
 std::vector<IndirectResolution> ResolveIndirectCalls(
-    Program& program,
-    const std::map<std::string, FunctionSummary>& summaries) {
+    Program& program, const std::map<std::string, FunctionSummary>& summaries,
+    OnDemandAliasOracle* sse_oracle) {
   std::vector<IndirectResolution> resolutions;
 
   // Candidate set: address-taken functions, with their parameter-rooted
@@ -228,11 +231,45 @@ std::vector<IndirectResolution> ResolveIndirectCalls(
             program.fn_by_addr.find(event->indirect_target->const_value());
         if (it != program.fn_by_addr.end()) {
           resolution.targets.push_back(it->second);
-          resolution.similarity = -1.0;  // exact, not similarity-based
+          resolution.similarity = kExactTarget;
           cs.resolved_targets = resolution.targets;
           resolutions.push_back(std::move(resolution));
         }
         continue;
+      }
+
+      // Case 1.5 (on-demand SSE mode): the symbolic target may read a
+      // cell some *linked* definition pair stores a concrete function
+      // address into — a registration store made in another function,
+      // imported here by Algorithm 2. Match the target SSE against
+      // every linked pair and its on-demand alias twins; a covering
+      // pair whose value is a known function address resolves the call
+      // exactly. Layout similarity never sees these: the registration
+      // and the call use different names for the same storage.
+      if (sse_oracle) {
+        std::set<std::string> sse_targets;
+        auto match_pair = [&](const DefPair& dp) {
+          if (!dp.u || dp.u->kind() != SymKind::kConst) return;
+          if (!dp.d || !DefCoversUse(dp.d, event->indirect_target)) return;
+          auto fn_it = program.fn_by_addr.find(dp.u->const_value());
+          if (fn_it != program.fn_by_addr.end()) {
+            sse_targets.insert(fn_it->second);
+          }
+        };
+        for (const DefPair& dp : summary.def_pairs) match_pair(dp);
+        for (const DefPair& dp : sse_oracle->TwinsFor(summary)) {
+          match_pair(dp);
+        }
+        if (!sse_targets.empty()) {
+          resolution.targets.assign(sse_targets.begin(), sse_targets.end());
+          resolution.similarity = kSseTarget;
+          cs.resolved_targets = resolution.targets;
+          obs::MetricsRegistry::Global()
+              .counter("alias.ondemand.resolved_icalls")
+              .Add(1);
+          resolutions.push_back(std::move(resolution));
+          continue;
+        }
       }
 
       // Case 2: similarity matching. The structure at the callsite is

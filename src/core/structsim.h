@@ -28,6 +28,8 @@
 
 namespace dtaint {
 
+class OnDemandAliasOracle;
+
 /// One structure field: base + offset with an inferred type.
 struct StructField {
   int64_t offset;
@@ -69,6 +71,14 @@ bool LayoutsCompatible(const StructLayout& a, const StructLayout& b);
 /// Returns 0 when the layouts are incompatible.
 double LayoutSimilarity(const StructLayout& a, const StructLayout& b);
 
+/// How a callsite was resolved (IndirectResolution::similarity):
+///  * >= 0  — layout-similarity score (paper Eq. (2));
+///  * kExactTarget (-1) — the engine concretized the target address;
+///  * kSseTarget (-2) — the target SSE matched a known function-pointer
+///    store through the on-demand alias oracle.
+inline constexpr double kExactTarget = -1.0;
+inline constexpr double kSseTarget = -2.0;
+
 /// A resolved indirect callsite.
 struct IndirectResolution {
   std::string caller;
@@ -80,13 +90,18 @@ struct IndirectResolution {
 /// Resolves indirect callsites across the program:
 ///  * constant targets (dispatch-table loads the engine concretized)
 ///    resolve directly to the function at that address;
-///  * symbolic targets are matched by structure-layout similarity
-///    against address-taken candidate functions (functions whose
-///    address appears in .data/.rodata).
+///  * with `sse_oracle` set (AliasMode::kOnDemandSSE), symbolic targets
+///    whose SSE — directly or through an alias twin — matches a linked
+///    definition pair storing a known function address resolve exactly
+///    (the cross-call-boundary case layout similarity cannot see);
+///  * remaining symbolic targets are matched by structure-layout
+///    similarity against address-taken candidate functions (functions
+///    whose address appears in .data/.rodata).
 /// Writes resolved targets into each CallSite::resolved_targets and
 /// returns the resolution log.
 std::vector<IndirectResolution> ResolveIndirectCalls(
-    Program& program, const std::map<std::string, FunctionSummary>& summaries);
+    Program& program, const std::map<std::string, FunctionSummary>& summaries,
+    OnDemandAliasOracle* sse_oracle = nullptr);
 
 /// Functions whose address is stored in a data section (address-taken).
 std::vector<std::string> AddressTakenFunctions(const Program& program);

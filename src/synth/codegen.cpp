@@ -478,6 +478,114 @@ Status CodeGen::EmitLoopCopy(const PlantSpec& plant) {
   return Status::Ok();
 }
 
+Status CodeGen::EmitCrossCallAlias(const PlantSpec& plant) {
+  // A handler registration spread across call boundaries, the shape
+  // the eager alias pass structurally misses: link_ctx parks the ctx
+  // pointer in a container field, install writes the handler address
+  // into ctx, and the entry calls container->ctx->handler(msg). No
+  // single function sees both the registration store and the indirect
+  // call, so Algorithm 1 (per-function, pre-link) produces no usable
+  // twin and layout similarity scores zero (the entry touches the
+  // structs through stack roots, the impl through its argument). The
+  // on-demand oracle runs on the *linked* entry summary where both
+  // imported stores are visible, rewrites the call-target SSE through
+  // the cross-boundary alias fact, and resolves the call exactly.
+  std::string impl = plant.id + "_impl";
+  std::string link_ctx = plant.id + "_link";
+  std::string install = plant.id + "_install";
+  std::string setup = plant.id + "_setup";
+  std::string entry = plant.id + "_entry";
+  Import(plant.source);
+  Import("malloc");
+
+  {
+    FnBuilder b(impl);  // impl(msg): msg->{+0xC buf, +0x10 len}
+    b.LdrW(r_.s0, r_.a0, 0xC);
+    b.LdrW(r_.s1, r_.a0, 0x10);
+    Prologue(b, 0x80);
+    if (plant.sanitized) {
+      b.CmpI(r_.s1, 0x40);
+      b.Bge("out");
+    }
+    Import("memcpy");
+    b.AddI(r_.a0, kRegSp, 0x10);
+    b.MovR(r_.a1, r_.s0);
+    b.MovR(r_.a2, r_.s1);
+    b.Call("memcpy");
+    b.Label("out");
+    Epilogue(b, 0x80);
+    b.Ret();
+    if (Status s = Finish(std::move(b)); !s.ok()) return s;
+  }
+  {
+    FnBuilder b(link_ctx);  // link_ctx(container, ctx)
+    b.StrW(r_.a1, r_.a0, 0x8);  // container->ctx = ctx (the alias store)
+    b.Ret();
+    if (Status s = Finish(std::move(b)); !s.ok()) return s;
+  }
+
+  // Handler registry in .data: a single function-pointer slot holding
+  // the impl's address (also what makes the impl address-taken).
+  uint32_t slot_off = writer_.AddData(std::vector<uint8_t>(4, 0));
+  writer_.AddDataReloc({".data", slot_off, impl});
+  uint32_t slot_addr = kDataBase + slot_off;
+
+  {
+    FnBuilder b(install);  // install(ctx): ctx->handler = registry[0]
+    b.MovConst(r_.s0, slot_addr);
+    b.LdrW(r_.s0, r_.s0, 0);
+    b.StrW(r_.s0, r_.a0, 0x30);
+    b.Ret();
+    if (Status s = Finish(std::move(b)); !s.ok()) return s;
+  }
+  {
+    FnBuilder b(setup);  // setup(msg): allocate + taint the buffer
+    Prologue(b, 0x10);
+    b.MovR(r_.s3, r_.a0);
+    b.MovI(r_.a0, 0x200);
+    b.Call("malloc");
+    b.MovR(r_.s0, r_.rv);
+    b.StrW(r_.s0, r_.s3, 0xC);
+    b.MovI(r_.a0, 3);
+    b.MovR(r_.a1, r_.s0);
+    b.MovI(r_.a2, 0x200);
+    b.Call(plant.source);
+    b.LdrW(r_.s1, r_.s0, 0);   // attacker-controlled length field
+    b.StrW(r_.s1, r_.s3, 0x10);
+    Epilogue(b, 0x10);
+    b.Ret();
+    if (Status s = Finish(std::move(b)); !s.ok()) return s;
+  }
+  {
+    FnBuilder b(entry);
+    Prologue(b, 0x100);
+    b.AddI(r_.s1, kRegSp, 0x18);  // container struct
+    b.AddI(r_.s2, kRegSp, 0x40);  // ctx struct
+    b.AddI(r_.s3, kRegSp, 0x80);  // msg struct
+    b.MovR(r_.a0, r_.s1);
+    b.MovR(r_.a1, r_.s2);
+    b.Call(link_ctx);
+    b.MovR(r_.a0, r_.s2);
+    b.Call(install);
+    b.MovR(r_.a0, r_.s3);
+    b.Call(setup);
+    // Reload through the container: the engine has no store to forward
+    // here (the stores happened in the callees), so the target stays
+    // the symbolic chain deref(deref(sp0+cont+8)+0x30).
+    b.LdrW(r_.s4, r_.s1, 0x8);
+    b.LdrW(r_.s4, r_.s4, 0x30);
+    b.MovR(r_.a0, r_.s3);
+    b.CallReg(r_.s4);
+    Epilogue(b, 0x100);
+    b.Ret();
+    if (Status s = Finish(std::move(b)); !s.ok()) return s;
+  }
+  entry_functions_.push_back(entry);
+  RecordPlant(plant, impl, /*needs_alias=*/true, /*needs_structsim=*/true,
+              true);
+  return Status::Ok();
+}
+
 Status CodeGen::EmitPlant(const PlantSpec& plant) {
   switch (plant.pattern) {
     case VulnPattern::kDirect:
@@ -490,6 +598,8 @@ Status CodeGen::EmitPlant(const PlantSpec& plant) {
       return EmitDispatch(plant);
     case VulnPattern::kLoopCopy:
       return EmitLoopCopy(plant);
+    case VulnPattern::kCrossCallAlias:
+      return EmitCrossCallAlias(plant);
   }
   return Unsupported("unknown pattern");
 }

@@ -44,6 +44,7 @@ class CodeGen {
   Status EmitAliasChain(const PlantSpec& plant);
   Status EmitDispatch(const PlantSpec& plant);
   Status EmitLoopCopy(const PlantSpec& plant);
+  Status EmitCrossCallAlias(const PlantSpec& plant);
   Status EmitFillers();
   Status EmitMain();
 

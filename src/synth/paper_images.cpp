@@ -14,6 +14,8 @@ int PlantFunctionCount(const PlantSpec& plant) {
       return 5;  // impl + decoy + setup + dispatch + entry
     case VulnPattern::kLoopCopy:
       return 1;
+    case VulnPattern::kCrossCallAlias:
+      return 5;  // impl + link + install + setup + entry
   }
   return 1;
 }

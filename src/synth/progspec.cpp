@@ -14,6 +14,8 @@ std::string_view VulnPatternName(VulnPattern pattern) {
       return "dispatch";
     case VulnPattern::kLoopCopy:
       return "loop-copy";
+    case VulnPattern::kCrossCallAlias:
+      return "cross-call-alias";
   }
   return "?";
 }

@@ -29,6 +29,14 @@ enum class VulnPattern : uint8_t {
                // structure-layout similarity (§III-D)
   kLoopCopy,   // loop copy at an attacker-controlled offset (Table I's
                // "loop" sink)
+  kCrossCallAlias,  // function pointer registered through an alias
+                    // created across a call boundary: one callee links
+                    // ctx into a container, another installs the
+                    // handler into ctx, the entry calls through
+                    // container->ctx->handler. Only the on-demand SSE
+                    // oracle resolves the indirect call (the eager
+                    // pass runs pre-link and never sees the
+                    // cross-boundary facts; layout similarity scores 0)
 };
 
 std::string_view VulnPatternName(VulnPattern pattern);

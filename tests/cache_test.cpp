@@ -460,6 +460,24 @@ TEST(Fingerprint, EveryAnalysisConfigKnobChangesTheKey) {
   EXPECT_NE(base, KeyOfFn(bin, "f", {}, /*apply_alias=*/false));
 }
 
+TEST(Fingerprint, AliasModeKeysAreMutuallyDistinct) {
+  // 0 = alias off, 1 = eager, 2 = on-demand SSE: eager summaries carry
+  // the twin rewrite, on-demand ones don't, so the three key spaces
+  // must never collide. The bool overload keeps old callers mapping
+  // onto 0/1 exactly.
+  Rng rng(2);
+  Binary bin =
+      BuildFromInsns({RandomInsnForOp(Op::kNop, rng)}, Arch::kDtArm);
+  Hash128 off = EngineFingerprint(bin, {}, 0);
+  Hash128 eager = EngineFingerprint(bin, {}, 1);
+  Hash128 ondemand = EngineFingerprint(bin, {}, 2);
+  EXPECT_NE(off, eager);
+  EXPECT_NE(off, ondemand);
+  EXPECT_NE(eager, ondemand);
+  EXPECT_EQ(EngineFingerprint(bin, {}, false), off);
+  EXPECT_EQ(EngineFingerprint(bin, {}, true), eager);
+}
+
 TEST(Fingerprint, DataSectionBytesAreInTheKey) {
   // The engine concretizes loads from constant addresses out of
   // .rodata/.data, so two binaries with identical code but different

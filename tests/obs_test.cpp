@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/cache/summary_cache.h"
+#include "src/core/alias_ondemand.h"
 #include "src/core/dtaint.h"
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
@@ -427,7 +428,67 @@ TEST(CacheCompatView, InterprocStatsMatchCacheStats) {
   EXPECT_EQ(warm->metrics.CounterValue("cache.misses"), 0u);
 }
 
+// ------------------------------------------- on-demand alias counters
+
+TEST(MetricsRegistry, AliasOnDemandCountersResetAndDeltaCleanly) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.Reset();
+
+  FunctionSummary summary;
+  summary.name = "f";
+  DefPair fact;
+  fact.d = SymExpr::Deref(SymAdd(SymExpr::Arg(0), 0x8));
+  fact.u = SymAdd(SymExpr::Sp0(), 0x40);
+  summary.def_pairs.push_back(fact);
+
+  OnDemandAliasOracle oracle;
+  oracle.TwinsFor(summary);  // cold: query, no hit
+  oracle.TwinsFor(summary);  // warm: query + memo hit
+  obs::MetricsSnapshot warm = registry.Snapshot();
+  EXPECT_EQ(warm.CounterValue("alias.ondemand.queries"), 2u);
+  EXPECT_EQ(warm.CounterValue("alias.ondemand.hits"), 1u);
+
+  // Reset() zeroes the alias counters like every other instrument;
+  // a leftover total here would poison the next bench rep.
+  registry.Reset();
+  obs::MetricsSnapshot zeroed = registry.Snapshot();
+  EXPECT_EQ(zeroed.CounterValue("alias.ondemand.queries"), 0u);
+  EXPECT_EQ(zeroed.CounterValue("alias.ondemand.hits"), 0u);
+
+  // Per-rep deltas (what the bench harness records between reps) count
+  // only the rep's own queries, not the run-up before the snapshot.
+  oracle.TwinsFor(summary);
+  obs::MetricsSnapshot before = registry.Snapshot();
+  oracle.FactsFor(summary);
+  oracle.TwinsFor(summary);
+  obs::MetricsSnapshot delta = registry.Snapshot().DeltaSince(before);
+  EXPECT_EQ(delta.CounterValue("alias.ondemand.queries"), 2u);
+  EXPECT_EQ(delta.CounterValue("alias.ondemand.hits"), 2u);
+}
+
 // ------------------------------------------------- report-level plumbing
+
+TEST(ReportObservability, AliasOnDemandCountersArePerRunDeltas) {
+  Binary binary = SynthesizeSmallBinary();
+  DTaintConfig config;
+  config.interproc.alias_mode = AliasMode::kOnDemandSSE;
+  auto first = DTaint(config).Analyze(binary);
+  auto second = DTaint(config).Analyze(binary);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(first->metrics.CounterValue("alias.ondemand.queries"), 0u);
+  // The embedded metrics are per-run deltas off the global registry:
+  // two identical back-to-back runs must report identical counts, not
+  // an accumulating total.
+  EXPECT_EQ(second->metrics.CounterValue("alias.ondemand.queries"),
+            first->metrics.CounterValue("alias.ondemand.queries"));
+  EXPECT_EQ(second->metrics.CounterValue("alias.ondemand.hits"),
+            first->metrics.CounterValue("alias.ondemand.hits"));
+  // An eager run never consults the oracle.
+  auto eager = DTaint().Analyze(binary);
+  ASSERT_TRUE(eager.ok());
+  EXPECT_EQ(eager->metrics.CounterValue("alias.ondemand.queries"), 0u);
+}
 
 TEST(ReportObservability, HotFunctionsAndPathStats) {
   Binary binary = SynthesizeSmallBinary();

@@ -4,11 +4,14 @@
 
 #include <map>
 #include <set>
+#include <thread>
 
 #include "src/binary/loader.h"
 #include "src/binary/writer.h"
 #include "src/cfg/cfg_builder.h"
 #include "src/cfg/loops.h"
+#include "src/core/alias_ondemand.h"
+#include "src/core/interproc.h"
 #include "src/core/structsim.h"
 #include "src/firmware/extractor.h"
 #include "src/firmware/packer.h"
@@ -394,6 +397,174 @@ TEST_P(SymExprProperties, ReplaceRemovesNeedle) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, SymExprProperties, ::testing::Range(0, 4));
+
+// ---------- on-demand alias oracle properties --------------------------------
+//
+// The oracle's MayAlias must behave like an equivalence test over
+// canonicalized SSEs: reflexive, symmetric, and exactly "canonical
+// forms are Equal" — and its per-function memo must give the same
+// answers no matter how many threads race the first query.
+
+FunctionSummary MakeAliasSummary(Rng& rng, std::vector<SymRef>* alias_locs) {
+  FunctionSummary s;
+  s.name = "f";
+  int facts = 1 + static_cast<int>(rng.Below(3));
+  for (int i = 0; i < facts; ++i) {
+    // Alias-creating store: deref(argI + off) = Sp0 + c.
+    DefPair p;
+    p.d = SymExpr::Deref(
+        SymAdd(SymExpr::Arg(i), static_cast<int64_t>(rng.Below(8)) * 8));
+    p.u = SymAdd(SymExpr::Sp0(),
+                 0x40 + static_cast<int64_t>(rng.Below(8)) * 0x10);
+    alias_locs->push_back(p.d);
+    s.def_pairs.push_back(std::move(p));
+  }
+  // A store that yields no fact (tainted value, not a pointer).
+  DefPair t;
+  t.d = SymExpr::Deref(SymAdd(SymExpr::Sp0(), 0x170));
+  t.u = SymExpr::Taint(1, "recv");
+  s.def_pairs.push_back(std::move(t));
+  return s;
+}
+
+SymRef RandomSse(Rng& rng, const std::vector<SymRef>& alias_locs) {
+  SymRef expr;
+  switch (rng.Below(3)) {
+    case 0:
+      expr = SymExpr::Arg(static_cast<int>(rng.Below(4)));
+      break;
+    case 1:
+      expr = SymExpr::Sp0();
+      break;
+    default:
+      expr = alias_locs[rng.Below(alias_locs.size())];
+      break;
+  }
+  int derefs = static_cast<int>(rng.Below(3));
+  for (int i = 0; i < derefs; ++i) {
+    expr = SymExpr::Deref(
+        SymAdd(expr, static_cast<int64_t>(rng.Below(16)) * 4));
+  }
+  return expr;
+}
+
+class AliasOracleProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(AliasOracleProperties, MayAliasIsCanonicalSseEquality) {
+  Rng rng(GetParam() * 137 + 19);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<SymRef> alias_locs;
+    FunctionSummary summary = MakeAliasSummary(rng, &alias_locs);
+    OnDemandAliasOracle oracle;
+    for (int i = 0; i < 25; ++i) {
+      SymRef a = RandomSse(rng, alias_locs);
+      SymRef b = RandomSse(rng, alias_locs);
+      // Reflexivity.
+      EXPECT_TRUE(oracle.MayAlias(summary, a, a)) << a->ToString();
+      // Symmetry.
+      bool ab = oracle.MayAlias(summary, a, b);
+      EXPECT_EQ(oracle.MayAlias(summary, b, a), ab)
+          << a->ToString() << " vs " << b->ToString();
+      // Canonicalization invariance: a aliases b exactly when the
+      // canonical SSEs are Equal (interned: pointer identity).
+      EXPECT_EQ(ab, SymExpr::Equal(oracle.CanonicalSse(summary, a),
+                                   oracle.CanonicalSse(summary, b)))
+          << a->ToString() << " vs " << b->ToString();
+      // Canonicalization is idempotent (a reached fixpoint).
+      SymRef canon = oracle.CanonicalSse(summary, a);
+      EXPECT_TRUE(
+          SymExpr::Equal(oracle.CanonicalSse(summary, canon), canon))
+          << a->ToString();
+    }
+  }
+}
+
+TEST_P(AliasOracleProperties, RewriteThroughFactAliasesItsTwinName) {
+  Rng rng(GetParam() * 241 + 23);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<SymRef> alias_locs;
+    FunctionSummary summary = MakeAliasSummary(rng, &alias_locs);
+    OnDemandAliasOracle oracle;
+    const std::vector<AliasFact>& facts = oracle.FactsFor(summary);
+    ASSERT_EQ(facts.size(), alias_locs.size());
+    for (const AliasFact& fact : facts) {
+      // *(alias_loc)+k and *(base+offset)+k name the same cell.
+      int64_t k = static_cast<int64_t>(rng.Below(16)) * 4;
+      SymRef via_alias = SymExpr::Deref(SymAdd(fact.alias_loc, k));
+      SymRef via_base =
+          SymExpr::Deref(SymAdd(SymAdd(fact.base, fact.offset), k));
+      EXPECT_TRUE(oracle.MayAlias(summary, via_alias, via_base))
+          << via_alias->ToString() << " vs " << via_base->ToString();
+    }
+  }
+}
+
+TEST_P(AliasOracleProperties, MemoIsDeterministicAcrossThreadCounts) {
+  // Build linked summaries from a real synthesized program, then race
+  // the oracle's first queries from many threads: the memoized twins
+  // must match a single-threaded oracle's, function for function.
+  ProgramSpec spec;
+  spec.name = "memo";
+  spec.arch = GetParam() % 2 ? Arch::kDtMips : Arch::kDtArm;
+  spec.seed = 900 + static_cast<uint64_t>(GetParam());
+  spec.filler_functions = 10;
+  PlantSpec p;
+  p.id = "v";
+  p.pattern = VulnPattern::kCrossCallAlias;
+  p.source = "recv";
+  p.sink = "memcpy";
+  spec.plants = {p};
+  auto out = SynthesizeBinary(spec);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  CfgBuilder builder(out->binary);
+  auto program = builder.BuildProgram();
+  ASSERT_TRUE(program.ok());
+  SymEngine engine(out->binary);
+  CallGraph graph = CallGraph::Build(*program);
+  InterprocConfig config;
+  config.alias_mode = AliasMode::kOnDemandSSE;
+  ProgramAnalysis analysis = RunBottomUp(*program, graph, engine, config);
+  ASSERT_TRUE(analysis.alias_oracle);
+
+  std::vector<const FunctionSummary*> summaries;
+  for (const auto& [_, summary] : analysis.summaries) {
+    summaries.push_back(&summary);
+  }
+  auto twin_strings = [](const std::vector<DefPair>& twins) {
+    std::vector<std::string> out;
+    for (const DefPair& dp : twins) {
+      out.push_back(dp.d->ToString() + " = " + dp.u->ToString());
+    }
+    return out;
+  };
+  OnDemandAliasOracle reference;
+  std::map<std::string, std::vector<std::string>> expected;
+  for (const FunctionSummary* s : summaries) {
+    expected[s->name] = twin_strings(reference.TwinsFor(*s));
+  }
+
+  for (int threads : {2, 8}) {
+    OnDemandAliasOracle racing;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        Rng order(static_cast<uint64_t>(t) * 71 + 5);
+        for (size_t i = 0; i < summaries.size(); ++i) {
+          racing.TwinsFor(*summaries[order.Below(summaries.size())]);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    for (const FunctionSummary* s : summaries) {
+      EXPECT_EQ(twin_strings(racing.TwinsFor(*s)), expected[s->name])
+          << s->name << " at " << threads << " threads";
+    }
+    EXPECT_EQ(racing.memo_pairs(), reference.memo_pairs());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AliasOracleProperties,
+                         ::testing::Range(0, 4));
 
 // ---------- synthesized programs are well-formed ------------------------------
 

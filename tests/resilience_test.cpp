@@ -18,6 +18,7 @@
 #include "src/firmware/extractor.h"
 #include "src/firmware/packer.h"
 #include "src/report/json.h"
+#include "src/report/scoring.h"
 #include "src/resilience/budget.h"
 #include "src/resilience/fault.h"
 #include "src/resilience/retry.h"
@@ -265,6 +266,61 @@ TEST_F(ResilienceTest, DeadlineBudgetDegradesStateExplosion) {
   EXPECT_GT(report->degraded_functions, 0u);
   for (const Incident& inc : report->incidents) {
     EXPECT_EQ(inc.budget.exhausted_by, BudgetExhaustion::kDeadline);
+  }
+}
+
+// ---------- on-demand alias oracle under expression budget -------------------
+
+TEST_F(ResilienceTest, OnDemandAliasMemoBudgetDegradesConservatively) {
+  // A program whose cross-call plant is detectable only through the
+  // on-demand SSE oracle. The oracle's memo table charges against
+  // max_expr_nodes; starving it must shed findings (empty twin sets →
+  // fewer alias matches), never invent them — at every budget level
+  // the findings are a subset of the generous on-demand run's.
+  ProgramSpec spec;
+  spec.name = "resil_alias";
+  spec.arch = Arch::kDtArm;
+  spec.seed = 88;
+  spec.filler_functions = 20;
+  PlantSpec xcall;
+  xcall.id = "xa";
+  xcall.pattern = VulnPattern::kCrossCallAlias;
+  xcall.source = "recv";
+  xcall.sink = "memcpy";
+  PlantSpec direct;
+  direct.id = "xd";
+  direct.pattern = VulnPattern::kDirect;
+  direct.source = "getenv";
+  direct.sink = "system";
+  spec.plants = {xcall, direct};
+  auto out = SynthesizeBinary(spec);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+  DTaintConfig config;
+  config.interproc.alias_mode = AliasMode::kOnDemandSSE;
+  auto generous = DTaint(config).Analyze(out->binary);
+  ASSERT_TRUE(generous.ok());
+  DetectionScore full_score =
+      ScoreFindings(generous->findings, out->ground_truth);
+  ASSERT_EQ(full_score.true_positives, 2u)
+      << "generous on-demand run must find both plants";
+  std::vector<std::string> full = FindingKeys(*generous);
+
+  for (uint64_t nodes : {1u, 8u, 64u, 4096u}) {
+    DTaintConfig starved = config;
+    starved.interproc.budget.max_expr_nodes = nodes;
+    auto tiny = DTaint(starved).Analyze(out->binary);
+    ASSERT_TRUE(tiny.ok()) << "max_expr_nodes=" << nodes;
+    for (const std::string& key : FindingKeys(*tiny)) {
+      EXPECT_TRUE(std::binary_search(full.begin(), full.end(), key))
+          << "spurious finding under max_expr_nodes=" << nodes << ": "
+          << key;
+    }
+    // Fewer memoized twin pairs can only lose indirect-call
+    // resolutions, never gain them.
+    EXPECT_LE(tiny->indirect_calls_resolved,
+              generous->indirect_calls_resolved)
+        << "max_expr_nodes=" << nodes;
   }
 }
 
