@@ -40,8 +40,15 @@
 //                        thread count)
 //
 // Observability: `--log-level LEVEL` sets the stderr log threshold,
-// `--trace-out FILE` records a fleet-wide Chrome trace (one "binary"
-// span per image), `--metrics-out FILE` dumps the metrics registry.
+// `--trace-out FILE` streams a fleet-wide Chrome trace (JSON Array
+// Format, crash-tolerant — append `]` to recover a killed worker's
+// file), `--metrics-out FILE` dumps the metrics registry,
+// `--events-out FILE` streams the NDJSON scan event stream (schema v1,
+// see src/obs/events.h) with a `<FILE>.flight.ndjson` flight-recorder
+// dump on incident or fatal signal, and `--heartbeat-ms MS` sets the
+// heartbeat cadence on that stream (default 1000, 0 = off; a final
+// beat is always emitted at shutdown). Aggregate one or more event
+// streams with tools/scan_report.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -54,12 +61,15 @@
 #include "src/core/dtaint.h"
 #include "src/firmware/extractor.h"
 #include "src/firmware/packer.h"
+#include "src/obs/events.h"
 #include "src/obs/log.h"
+#include "src/obs/stopwatch.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/report/json.h"
 #include "src/report/scoring.h"
 #include "src/report/table.h"
+#include "src/resilience/fault.h"
 #include "src/resilience/incident.h"
 #include "src/synth/firmware_synth.h"
 #include "src/util/rng.h"
@@ -151,6 +161,32 @@ void CorruptBlob(std::vector<uint8_t>& blob) {
   if (!blob.empty()) blob[blob.size() / 2] ^= 0x5A;
 }
 
+void PrintUsage() {
+  std::printf(
+      "usage: corpus_scan [options]\n"
+      "\n"
+      "analysis:\n"
+      "  --threads N          worker threads for the summary phase\n"
+      "  --cache-dir DIR      persistent function-summary cache\n"
+      "  --alias-mode MODE    eager | ondemand\n"
+      "  --deadline-ms MS / --max-steps N / --max-states N /\n"
+      "  --max-expr-nodes N   per-function analysis budget (0 = off)\n"
+      "  --corrupt K          corrupt first K extractable images\n"
+      "  --fail-fast          stop at the first incident, exit nonzero\n"
+      "\n"
+      "output & observability:\n"
+      "  --json-out FILE      fleet report as JSON\n"
+      "  --log-level LEVEL    error | warn | info | debug (stderr)\n"
+      "  --trace-out FILE     streamed Chrome trace (crash-tolerant\n"
+      "                       JSON Array Format; append ']' to recover)\n"
+      "  --metrics-out FILE   metrics registry dump as JSON\n"
+      "  --events-out FILE    NDJSON scan event stream (schema v1) +\n"
+      "                       FILE.flight.ndjson flight-recorder dump\n"
+      "                       on incident or fatal signal\n"
+      "  --heartbeat-ms MS    heartbeat cadence on the event stream\n"
+      "                       (default 1000, 0 = off)\n");
+}
+
 /// Per-image outcome, accumulated for the fleet JSON report.
 struct ImageResult {
   std::string label;
@@ -163,6 +199,7 @@ struct ImageResult {
   std::string status;
   bool complete = false;
   size_t functions = 0;
+  size_t finding_count = 0;
   std::string findings_json = "[]";
   std::optional<DetectionScore> score;
 };
@@ -207,12 +244,18 @@ int main(int argc, char** argv) {
   const char* trace_out = nullptr;
   const char* metrics_out = nullptr;
   const char* json_out = nullptr;
+  const char* events_out = nullptr;
+  int heartbeat_ms = 1000;
   int num_threads = 1;
   int corrupt_count = 0;
   bool fail_fast = false;
   AnalysisBudget budget;
   AliasMode alias_mode = AliasMode::kEager;
   for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      PrintUsage();
+      return 0;
+    }
     if (std::strcmp(argv[i], "--fail-fast") == 0) {
       fail_fast = true;
       continue;
@@ -253,9 +296,21 @@ int main(int argc, char** argv) {
       trace_out = argv[i + 1];
     } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
       metrics_out = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--events-out") == 0) {
+      events_out = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--heartbeat-ms") == 0) {
+      heartbeat_ms = atoi(argv[i + 1]);
     }
   }
-  if (trace_out) obs::Tracer::Global().Start();
+  if (trace_out && !obs::Tracer::Global().StreamTo(trace_out)) {
+    std::fprintf(stderr, "cannot open trace file %s\n", trace_out);
+    return 2;
+  }
+  obs::EventStream& events = obs::EventStream::Global();
+  if (events_out && !events.Open(events_out, "corpus_scan")) {
+    std::fprintf(stderr, "cannot open event stream %s\n", events_out);
+    return 2;
+  }
 
   std::vector<CorpusItem> corpus = BuildCorpus();
   // Deterministic damage for the resilience demo: only images whose
@@ -282,6 +337,16 @@ int main(int argc, char** argv) {
   std::vector<Incident> incidents;
   bool aborted = false;
 
+  if (events.enabled()) {
+    events.Emit(obs::Event("corpus_begin")
+                    .Num("images", static_cast<uint64_t>(corpus.size())));
+  }
+  obs::Heartbeat heartbeat(events,
+                           heartbeat_ms > 0
+                               ? static_cast<uint32_t>(heartbeat_ms)
+                               : 0);
+  heartbeat.images_total().store(corpus.size(), std::memory_order_relaxed);
+
   for (const CorpusItem& item : corpus) {
     std::string label = item.spec.vendor + " " + item.spec.product;
     ImageResult im;
@@ -290,6 +355,21 @@ int main(int argc, char** argv) {
     im.product = item.spec.product;
     im.arch = std::string(ArchName(item.spec.program.arch));
     im.packing = std::string(PackingName(item.spec.packing));
+    obs::Stopwatch image_watch;
+    if (events.enabled()) {
+      events.Emit(obs::Event("image_begin")
+                      .Str("image", label)
+                      .Str("vendor", im.vendor)
+                      .Str("product", im.product)
+                      .Str("arch", im.arch)
+                      .Str("packing", im.packing));
+    }
+    // Kill-mid-scan oracle hook: a "crash" fault here dies hard with
+    // the image_begin on disk and no image_end — exactly the torn
+    // stream scan_report must triage (tests/events_test.cpp).
+    if (FaultPlan::Global().ShouldFail(FaultSite::kCrash, label)) {
+      std::abort();
+    }
 
     auto record_incident = [&](const std::string& phase,
                                const std::string& detail,
@@ -299,9 +379,25 @@ int main(int argc, char** argv) {
       inc.phase = phase;
       inc.detail = detail;
       inc.status = status;
+      if (events.enabled()) EmitIncident(events, inc);
       incidents.push_back(inc);
       DTAINT_LOG(obs::LogLevel::kWarn, "corpus", "%s",
                  incidents.back().ToString().c_str());
+    };
+    auto finish_image = [&](ImageResult& result) {
+      if (events.enabled()) {
+        events.Emit(
+            obs::Event("image_end")
+                .Str("image", result.label)
+                .Str("status", result.status)
+                .Bool("complete", result.complete)
+                .Num("functions", static_cast<uint64_t>(result.functions))
+                .Num("findings",
+                     static_cast<uint64_t>(result.finding_count))
+                .Double("duration_ms", image_watch.Seconds() * 1e3));
+      }
+      heartbeat.images_done().fetch_add(1, std::memory_order_relaxed);
+      images.push_back(std::move(result));
     };
     auto add_row = [&](const char* status_text) {
       table.AddRow({im.label, im.arch, im.packing, status_text,
@@ -323,12 +419,12 @@ int main(int argc, char** argv) {
         record_incident("extract", label, extracted.status());
         add_row("FAILED: extract");
         if (fail_fast) {
-          images.push_back(std::move(im));
+          finish_image(im);
           aborted = true;
           break;
         }
       }
-      images.push_back(std::move(im));
+      finish_image(im);
       continue;
     }
     const FirmwareFile* file =
@@ -339,7 +435,7 @@ int main(int argc, char** argv) {
                       NotFound(label + ": no " + item.spec.binary_path +
                                " in extracted image"));
       add_row("FAILED: no binary");
-      images.push_back(std::move(im));
+      finish_image(im);
       if (fail_fast) {
         aborted = true;
         break;
@@ -352,7 +448,7 @@ int main(int argc, char** argv) {
       im.status = "failed";
       record_incident("load", item.spec.binary_path, binary.status());
       add_row("FAILED: load");
-      images.push_back(std::move(im));
+      finish_image(im);
       if (fail_fast) {
         aborted = true;
         break;
@@ -370,7 +466,7 @@ int main(int argc, char** argv) {
       im.status = "failed";
       record_incident("analyze", binary->soname, report.status());
       add_row("FAILED: analyze");
-      images.push_back(std::move(im));
+      finish_image(im);
       if (fail_fast) {
         aborted = true;
         break;
@@ -387,6 +483,7 @@ int main(int argc, char** argv) {
     im.status = "ok";
     im.complete = report->complete;
     im.functions = report->analyzed_functions;
+    im.finding_count = report->findings.size();
     im.findings_json = FindingsToJson(report->findings);
     DetectionScore score =
         ScoreFindings(report->findings, item.ground_truth);
@@ -408,11 +505,23 @@ int main(int argc, char** argv) {
                   std::to_string(score.false_positives +
                                  score.safe_twin_hits),
                   std::to_string(score.false_negatives)});
-    images.push_back(std::move(im));
+    finish_image(im);
     if (fail_fast && !report->complete) {
       aborted = true;
       break;
     }
+  }
+  heartbeat.Stop();
+  if (events.enabled()) {
+    events.Emit(obs::Event("corpus_end")
+                    .Num("images", static_cast<uint64_t>(corpus.size()))
+                    .Num("complete",
+                         static_cast<uint64_t>(complete_images))
+                    .Num("unextractable",
+                         static_cast<uint64_t>(unextractable))
+                    .Num("incidents",
+                         static_cast<uint64_t>(incidents.size()))
+                    .Bool("aborted", aborted));
   }
   std::printf("%s\n", table.Render().c_str());
   std::printf("fleet totals (over %zu complete image(s)): TP=%zu FN=%zu "
@@ -441,13 +550,10 @@ int main(int argc, char** argv) {
       if (rc == 0) rc = 1;
     }
   }
-  if (trace_out) {
-    obs::Tracer::Global().Stop();
-    if (!obs::Tracer::Global().WriteChromeJson(trace_out)) {
-      DTAINT_LOG(obs::LogLevel::kError, "corpus", "cannot write trace to %s",
-                 trace_out);
-      if (rc == 0) rc = 1;
-    }
+  if (trace_out && !obs::Tracer::Global().FinishStream()) {
+    DTAINT_LOG(obs::LogLevel::kError, "corpus", "cannot finish trace at %s",
+               trace_out);
+    if (rc == 0) rc = 1;
   }
   if (metrics_out) {
     std::ofstream out(metrics_out, std::ios::trunc);
@@ -458,5 +564,6 @@ int main(int argc, char** argv) {
       if (rc == 0) rc = 1;
     }
   }
+  events.Close(aborted ? "aborted" : "ok");
   return rc;
 }

@@ -27,9 +27,16 @@
 //
 // Observability flags (accepted by every command):
 //   --log-level error|warn|info|debug   stderr log threshold (warn)
-//   --trace-out FILE    Chrome trace-event JSON of the pipeline's spans
-//                       (load in chrome://tracing or Perfetto)
+//   --trace-out FILE    streamed Chrome trace of the pipeline's spans
+//                       (JSON Array Format, crash-tolerant: append `]`
+//                       to recover a killed run's file; loads in
+//                       chrome://tracing or Perfetto)
 //   --metrics-out FILE  metrics-registry snapshot as JSON
+//   --events-out FILE   NDJSON scan event stream (schema v1, see
+//                       src/obs/events.h); a flight-recorder dump of
+//                       the most recent events lands next to it at
+//                       FILE.flight.ndjson on incident or fatal
+//                       signal. Aggregate with tools/scan_report.
 //
 // --cache-dir enables the persistent function-summary cache: summaries
 // are stored content-addressed under DIR and re-used by later scans of
@@ -47,6 +54,7 @@
 #include "src/firmware/extractor.h"
 #include "src/firmware/packer.h"
 #include "src/ir/printer.h"
+#include "src/obs/events.h"
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -377,7 +385,8 @@ int main(int argc, char** argv) {
                  "       [--max-expr-nodes N] [--fail-fast]\n"
                  "  all commands:\n"
                  "       [--log-level error|warn|info|debug]\n"
-                 "       [--trace-out FILE] [--metrics-out FILE]\n");
+                 "       [--trace-out FILE] [--metrics-out FILE]\n"
+                 "       [--events-out FILE]\n");
     return 2;
   }
   if (const char* level_name = FlagValue(argc, argv, "--log-level")) {
@@ -390,17 +399,23 @@ int main(int argc, char** argv) {
   }
   const char* trace_out = FlagValue(argc, argv, "--trace-out");
   const char* metrics_out = FlagValue(argc, argv, "--metrics-out");
-  if (trace_out) obs::Tracer::Global().Start();
+  const char* events_out = FlagValue(argc, argv, "--events-out");
+  if (trace_out && !obs::Tracer::Global().StreamTo(trace_out)) {
+    std::fprintf(stderr, "cannot open trace file %s\n", trace_out);
+    return 2;
+  }
+  if (events_out &&
+      !obs::EventStream::Global().Open(events_out, "dtaint_cli")) {
+    std::fprintf(stderr, "cannot open event stream %s\n", events_out);
+    return 2;
+  }
 
   int rc = Dispatch(argc, argv);
 
-  if (trace_out) {
-    obs::Tracer::Global().Stop();
-    if (!obs::Tracer::Global().WriteChromeJson(trace_out)) {
-      DTAINT_LOG(obs::LogLevel::kError, "cli", "cannot write trace to %s",
-                 trace_out);
-      if (rc == 0) rc = 1;
-    }
+  if (trace_out && !obs::Tracer::Global().FinishStream()) {
+    DTAINT_LOG(obs::LogLevel::kError, "cli", "cannot finish trace at %s",
+               trace_out);
+    if (rc == 0) rc = 1;
   }
   if (metrics_out) {
     std::string json = obs::MetricsRegistry::Global().ToJson();
@@ -412,5 +427,6 @@ int main(int argc, char** argv) {
       if (rc == 0) rc = 1;
     }
   }
+  obs::EventStream::Global().Close(rc == 0 || rc == 3 ? "ok" : "failed");
   return rc;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "src/obs/events.h"
 #include "src/obs/log.h"
 #include "src/obs/stopwatch.h"
 #include "src/obs/trace.h"
@@ -33,13 +34,28 @@ Result<AnalysisReport> DTaint::AnalyzeFunctions(
   report.binary_name = binary.soname;
   report.arch = binary.arch;
   obs::Span binary_span(tracer, "binary", report.binary_name);
+  obs::EventStream& events = obs::EventStream::Global();
   obs::MetricsSnapshot metrics_before = registry.Snapshot();
+  if (events.enabled()) {
+    events.Emit(obs::Event("binary_begin")
+                    .Str("binary", report.binary_name)
+                    .Str("arch", ArchName(binary.arch)));
+    events.Emit(obs::Event("alias_mode")
+                    .Str("mode", config_.enable_alias
+                                     ? AliasModeName(
+                                           config_.interproc.alias_mode)
+                                     : "off"));
+  }
   DTAINT_LOG(obs::LogLevel::kInfo, "dtaint", "analyzing %s",
              report.binary_name.c_str());
 
   // 1. Lift and structure the whole binary.
   obs::Stopwatch t_ssa;
   obs::Span lift_span(tracer, "phase", "lift");
+  obs::Stopwatch t_lift;
+  if (events.enabled()) {
+    events.Emit(obs::Event("phase_begin").Str("phase", "lift"));
+  }
   CfgBuilder builder(binary);
   auto program_or = builder.BuildProgram();
   if (!program_or.ok()) {
@@ -56,6 +72,7 @@ Result<AnalysisReport> DTaint::AnalyzeFunctions(
     incident.phase = "lift";
     incident.detail = fn_name;
     incident.status = status;
+    if (events.enabled()) EmitIncident(events, incident);
     report.incidents.push_back(std::move(incident));
     DTAINT_LOG(obs::LogLevel::kWarn, "dtaint", "%s: lift skipped %s: %s",
                report.binary_name.c_str(), fn_name.c_str(),
@@ -66,6 +83,16 @@ Result<AnalysisReport> DTaint::AnalyzeFunctions(
   report.blocks = program.TotalBlocks();
   registry.counter("lift.functions").Add(report.functions);
   registry.counter("lift.blocks").Add(report.blocks);
+  if (events.enabled()) {
+    events.Emit(obs::Event("phase_end")
+                    .Str("phase", "lift")
+                    .Double("duration_ms", t_lift.Seconds() * 1e3)
+                    .Num("functions", static_cast<uint64_t>(report.functions))
+                    .Num("blocks", static_cast<uint64_t>(report.blocks))
+                    .Num("lift_failures",
+                         static_cast<uint64_t>(
+                             program.lift_failures.size())));
+  }
 
   // Optional focus filter: keep the named functions plus everything
   // transitively reachable from them.
@@ -126,6 +153,10 @@ Result<AnalysisReport> DTaint::AnalyzeFunctions(
   obs::Stopwatch t_ddg;
   if (config_.enable_structsim) {
     obs::Span structsim_span(tracer, "phase", "structsim");
+    obs::Stopwatch t_structsim;
+    if (events.enabled()) {
+      events.Emit(obs::Event("phase_begin").Str("phase", "structsim"));
+    }
     // In on-demand alias mode the oracle adds the SSE resolution tier:
     // call-target SSEs matched against linked function-pointer stores
     // and their alias twins (null oracle = eager mode, tier disabled).
@@ -135,6 +166,14 @@ Result<AnalysisReport> DTaint::AnalyzeFunctions(
     registry.counter("structsim.indirect_calls_resolved")
         .Add(report.indirect_calls_resolved);
     structsim_span.Finish();
+    if (events.enabled()) {
+      events.Emit(obs::Event("phase_end")
+                      .Str("phase", "structsim")
+                      .Double("duration_ms", t_structsim.Seconds() * 1e3)
+                      .Num("resolved",
+                           static_cast<uint64_t>(
+                               report.indirect_calls_resolved)));
+    }
     if (!resolutions.empty()) {
       CallGraph graph2 = CallGraph::Build(program);
       analysis = RunBottomUp(program, graph2, engine, interproc_config);
@@ -165,15 +204,36 @@ Result<AnalysisReport> DTaint::AnalyzeFunctions(
   PathFinder finder(program, analysis, config_.pathfinder);
   report.sink_count = finder.SinkCount();
   obs::Span pathfind_span(tracer, "phase", "pathfind");
+  obs::Stopwatch t_pathfind;
+  if (events.enabled()) {
+    events.Emit(obs::Event("phase_begin").Str("phase", "pathfind"));
+  }
   std::vector<TaintPath> paths = finder.FindAll();
   pathfind_span.Finish();
   report.total_paths = paths.size();
   report.pathfinder_stats = finder.stats();
+  if (events.enabled()) {
+    events.Emit(obs::Event("phase_end")
+                    .Str("phase", "pathfind")
+                    .Double("duration_ms", t_pathfind.Seconds() * 1e3)
+                    .Num("paths", static_cast<uint64_t>(report.total_paths))
+                    .Num("sinks", static_cast<uint64_t>(report.sink_count)));
+    events.Emit(obs::Event("phase_begin").Str("phase", "sanitize"));
+  }
   obs::Span sanitize_span(tracer, "phase", "sanitize");
+  obs::Stopwatch t_sanitize;
   std::vector<TaintPath> vulnerable = FilterVulnerable(paths);
   sanitize_span.Finish();
   report.pathfinder_stats.sanitized_away =
       report.total_paths - vulnerable.size();
+  if (events.enabled()) {
+    events.Emit(obs::Event("phase_end")
+                    .Str("phase", "sanitize")
+                    .Double("duration_ms", t_sanitize.Seconds() * 1e3)
+                    .Num("sanitized",
+                         static_cast<uint64_t>(
+                             report.pathfinder_stats.sanitized_away)));
+  }
   // Paths riding on degraded (over-approximated) flow are withheld:
   // reporting them would let a *smaller* budget produce *more*
   // findings. They count as suppressed and flip `complete` instead.
@@ -192,8 +252,23 @@ Result<AnalysisReport> DTaint::AnalyzeFunctions(
   for (TaintPath& path : vulnerable) {
     report.findings.push_back({std::move(path)});
   }
+  if (events.enabled()) {
+    for (const Finding& finding : report.findings) {
+      const TaintPath& p = finding.path;
+      events.Emit(obs::Event("finding")
+                      .Str("class", VulnClassName(p.vuln_class))
+                      .Str("source", p.source_name)
+                      .Str("sink", p.sink_name)
+                      .Str("sink_function", p.sink_function)
+                      .Str("sink_site", HexStr(p.sink_site))
+                      .Num("hops", static_cast<uint64_t>(p.hops.size()))
+                      .Num("constraints",
+                           static_cast<uint64_t>(p.constraints.size())));
+    }
+  }
   report.degraded_functions = report.interproc_stats.degraded_functions;
   for (const Incident& incident : report.interproc_stats.incidents) {
+    if (events.enabled()) EmitIncident(events, incident);
     report.incidents.push_back(incident);
   }
   // Note: the engine's own max_paths truncation (FunctionSummary::
@@ -211,6 +286,16 @@ Result<AnalysisReport> DTaint::AnalyzeFunctions(
   // intern.* counters before the per-run delta is taken.
   ExprInterner::Global().PublishMetrics();
   report.metrics = registry.Snapshot().DeltaSince(metrics_before);
+  if (events.enabled()) {
+    events.Emit(obs::Event("binary_end")
+                    .Str("binary", report.binary_name)
+                    .Num("functions",
+                         static_cast<uint64_t>(report.analyzed_functions))
+                    .Num("findings",
+                         static_cast<uint64_t>(report.findings.size()))
+                    .Bool("complete", report.complete)
+                    .Double("duration_ms", report.total_seconds * 1e3));
+  }
   DTAINT_LOG(obs::LogLevel::kInfo, "dtaint",
              "%s: %zu findings (%zu paths, %zu sanitized) in %.3fs",
              report.binary_name.c_str(), report.findings.size(),

@@ -10,6 +10,7 @@
 #include "src/core/alias_ondemand.h"
 #include "src/resilience/fault.h"
 #include "src/symexec/intern.h"
+#include "src/obs/events.h"
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
 #include "src/obs/stopwatch.h"
@@ -102,6 +103,12 @@ ProgramAnalysis RunBottomUp(const Program& program, const CallGraph& graph,
   const std::vector<std::string> order = graph.BottomUpOrder();
   obs::Tracer& tracer = obs::Tracer::Global();
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::EventStream& events = obs::EventStream::Global();
+  // Live progress gauge the heartbeat thread reads: bumped on EVERY
+  // analyze_one entry — cache hit or miss — so the rate tracks work
+  // retired, and so event-off and event-on runs stay byte-identical
+  // (the differential oracles compare cold vs warm reports).
+  obs::Counter& fns_done = registry.counter("summary.functions_done");
 
   // Phase 1: intraprocedural static symbolic analysis — exactly once
   // per function (and, with a summary cache configured, once per
@@ -157,27 +164,41 @@ ProgramAnalysis RunBottomUp(const Program& program, const CallGraph& graph,
   auto analyze_one = [&](size_t i) {
     const Function* fn = program.FindFunction(order[i]);
     if (!fn) return;
+    fns_done.Add();
+    if (events.enabled()) {
+      events.Emit(obs::Event("function_begin").Str("function", order[i]));
+    }
     obs::Span span(tracer, "function", order[i]);
     obs::Stopwatch watch;
     BudgetTracker tracker(config.budget);
+    bool from_cache = false;
     if (cache) {
       Hash128 key = FunctionKey(*fn, engine_fp);
       if (auto cached = cache->Lookup(key)) {
         base[i] = std::move(*cached);
         fn_cached[i] = 1;
-        fn_seconds[i] = watch.Seconds();
-        return;
+        from_cache = true;
+      } else {
+        base[i] = produce(*fn, tracker);
+        // Degraded summaries are budget artifacts, not function
+        // content — never persist them, so a rerun with a larger
+        // budget (or the fault removed) re-analyzes at full effort.
+        if (!base[i].degraded) cache->Store(key, base[i]);
       }
-      base[i] = produce(*fn, tracker);
-      // Degraded summaries are budget artifacts, not function content —
-      // never persist them, so a rerun with a larger budget (or the
-      // fault removed) re-analyzes at full effort.
-      if (!base[i].degraded) cache->Store(key, base[i]);
     } else {
       base[i] = produce(*fn, tracker);
     }
-    if (base[i].degraded) fn_budget[i] = tracker.counters();
+    if (!from_cache && base[i].degraded) fn_budget[i] = tracker.counters();
     fn_seconds[i] = watch.Seconds();
+    if (events.enabled()) {
+      events.Emit(obs::Event("function_end")
+                      .Str("function", order[i])
+                      .Num(
+                          "micros",
+                          static_cast<uint64_t>(fn_seconds[i] * 1e6))
+                      .Bool("cached", from_cache)
+                      .Bool("degraded", base[i].degraded));
+    }
   };
 
   // Clamp the pool to the number of work items: spawning thousands of
@@ -187,6 +208,11 @@ ProgramAnalysis RunBottomUp(const Program& program, const CallGraph& graph,
   int threads = static_cast<int>(std::min<size_t>(
       static_cast<size_t>(std::max(1, config.num_threads)),
       std::max<size_t>(1, order.size())));
+  if (events.enabled()) {
+    events.Emit(obs::Event("phase_begin")
+                    .Str("phase", "summary")
+                    .Num("functions", static_cast<uint64_t>(order.size())));
+  }
   {
     obs::Span summary_span(tracer, "phase", "summary");
     obs::Stopwatch phase1;
@@ -254,10 +280,23 @@ ProgramAnalysis RunBottomUp(const Program& program, const CallGraph& graph,
     analysis.stats.cache_memory_bytes =
         static_cast<size_t>(registry.gauge("cache.memory_bytes").Value());
   }
+  if (events.enabled()) {
+    events.Emit(
+        obs::Event("phase_end")
+            .Str("phase", "summary")
+            .Double("duration_ms", analysis.stats.summary_seconds * 1e3)
+            .Num("functions", static_cast<uint64_t>(order.size()))
+            .Num("cache_hits",
+                 static_cast<uint64_t>(analysis.stats.cache_hits))
+            .Num("cache_misses",
+                 static_cast<uint64_t>(analysis.stats.cache_misses)));
+    events.Emit(obs::Event("phase_begin").Str("phase", "link"));
+  }
 
   // Phase 2: linking, sequential in bottom-up order (each caller needs
   // its callees' already-linked summaries).
   obs::Span link_span(tracer, "phase", "link");
+  obs::Stopwatch link_watch;
   for (size_t order_index = 0; order_index < order.size(); ++order_index) {
     const std::string& name = order[order_index];
     const Function* fn = program.FindFunction(name);
@@ -369,6 +408,16 @@ ProgramAnalysis RunBottomUp(const Program& program, const CallGraph& graph,
     analysis.summaries.emplace(name, std::move(summary));
   }
   link_span.Finish();
+  if (events.enabled()) {
+    events.Emit(
+        obs::Event("phase_end")
+            .Str("phase", "link")
+            .Double("duration_ms", link_watch.Seconds() * 1e3)
+            .Num("defs_propagated",
+                 static_cast<uint64_t>(analysis.stats.defs_propagated))
+            .Num("uses_forwarded",
+                 static_cast<uint64_t>(analysis.stats.uses_forwarded)));
+  }
 
   if (config.apply_alias && config.alias_mode == AliasMode::kOnDemandSSE) {
     analysis.alias_oracle =

@@ -1,0 +1,363 @@
+#include "src/obs/events.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/util/strings.h"
+
+namespace dtaint::obs {
+
+// ---- Event ----------------------------------------------------------------
+
+Event::Event(std::string_view type) : type_(type) {}
+
+Event& Event::Str(std::string_view key, std::string_view value) {
+  fields_ += ",\"";
+  fields_ += JsonEscape(key);
+  fields_ += "\":\"";
+  fields_ += JsonEscape(value);
+  fields_ += '"';
+  return *this;
+}
+
+Event& Event::Num(std::string_view key, uint64_t value) {
+  fields_ += ",\"";
+  fields_ += JsonEscape(key);
+  fields_ += "\":";
+  fields_ += std::to_string(value);
+  return *this;
+}
+
+Event& Event::Double(std::string_view key, double value, int decimals) {
+  fields_ += ",\"";
+  fields_ += JsonEscape(key);
+  fields_ += "\":";
+  fields_ += FmtDouble(value, decimals);
+  return *this;
+}
+
+Event& Event::Bool(std::string_view key, bool value) {
+  fields_ += ",\"";
+  fields_ += JsonEscape(key);
+  fields_ += value ? "\":true" : "\":false";
+  return *this;
+}
+
+// ---- FlightRecorder -------------------------------------------------------
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::Arm(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = std::min(path.size(), sizeof(path_) - 1);
+  std::memcpy(path_, path.data(), n);
+  path_[n] = '\0';
+  for (Slot& slot : slots_) slot.len = 0;
+  seq_.store(0, std::memory_order_relaxed);
+  armed_.store(true, std::memory_order_release);
+}
+
+void FlightRecorder::Disarm() { armed_.store(false, std::memory_order_release); }
+
+void FlightRecorder::Record(std::string_view line) {
+  if (!armed()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t s = seq_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[s % kSlots];
+  size_t n = std::min(line.size(), kSlotBytes - 2);
+  std::memcpy(slot.text, line.data(), n);
+  slot.text[n] = '\n';
+  slot.len = static_cast<uint32_t>(n + 1);
+}
+
+void FlightRecorder::DumpToFd(int fd) const {
+  uint64_t end = seq_.load(std::memory_order_relaxed);
+  uint64_t begin = end > kSlots ? end - kSlots : 0;
+  for (uint64_t s = begin; s < end; ++s) {
+    const Slot& slot = slots_[s % kSlots];
+    uint32_t len = slot.len;
+    if (len == 0 || len > kSlotBytes) continue;
+    ssize_t ignored = ::write(fd, slot.text, len);
+    (void)ignored;
+  }
+}
+
+bool FlightRecorder::Dump() {
+  if (!armed()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  int fd = ::open(path_, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  DumpToFd(fd);
+  ::close(fd);
+  return true;
+}
+
+void FlightRecorder::DumpFromSignal() {
+  // No locking — the handler may have interrupted a Record() holding
+  // mu_. open/write/close are async-signal-safe; a concurrently
+  // written slot may come out torn, and NDJSON consumers skip it.
+  if (!armed_.load(std::memory_order_acquire)) return;
+  int fd = ::open(path_, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+  DumpToFd(fd);
+  ::close(fd);
+}
+
+// ---- crash hook -----------------------------------------------------------
+
+namespace {
+
+void CrashSignalHandler(int signum) {
+  FlightRecorder::Global().DumpFromSignal();
+  // Re-raise with the default action so the exit status still says
+  // "killed by signal" (and core dumps still happen where enabled).
+  ::signal(signum, SIG_DFL);
+  ::raise(signum);
+}
+
+/// Log-sink tee: renders the record exactly like the default stderr
+/// sink *and* records a "log"-type NDJSON line into the flight
+/// recorder, so a crash dump interleaves diagnostics with events.
+void FlightLogSink(LogLevel level, std::string_view component,
+                   std::string_view message, void* /*user*/) {
+  DefaultLogSink(level, component, message, nullptr);
+  FlightRecorder& recorder = FlightRecorder::Global();
+  if (!recorder.armed()) return;
+  std::string line = "{\"v\":" + std::to_string(kEventSchemaVersion) +
+                     ",\"type\":\"log\",\"level\":\"";
+  line += LogLevelName(level);
+  line += "\",\"tid\":" + std::to_string(ThreadId());
+  line += ",\"component\":\"" + JsonEscape(component) + "\"";
+  line += ",\"message\":\"" + JsonEscape(message) + "\"}";
+  recorder.Record(line);
+}
+
+}  // namespace
+
+void InstallCrashHandler() {
+  static bool installed = [] {
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = CrashSignalHandler;
+    sigemptyset(&action.sa_mask);
+    for (int signum : {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT}) {
+      ::sigaction(signum, &action, nullptr);
+    }
+    return true;
+  }();
+  (void)installed;
+}
+
+// ---- EventStream ----------------------------------------------------------
+
+EventStream& EventStream::Global() {
+  static EventStream* stream = new EventStream();
+  return *stream;
+}
+
+EventStream::~EventStream() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool EventStream::Open(const std::string& path, std::string_view tool) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  // O_APPEND: each write(2) lands atomically at the end of the file,
+  // so concurrent emitters never interleave mid-line and every
+  // completed emit survives a crash as a whole line.
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND, 0644);
+  if (fd_ < 0) return false;
+  path_ = path;
+  t0_ = std::chrono::steady_clock::now();
+  count_.store(0, std::memory_order_relaxed);
+  counts_by_type_.clear();
+  enabled_.store(true, std::memory_order_release);
+  lock.unlock();
+
+  FlightRecorder::Global().Arm(path + ".flight.ndjson");
+  InstallCrashHandler();
+  SetLogSink(&FlightLogSink, nullptr);
+
+  Event begin("stream_begin");
+  begin.Str("tool", tool)
+      .Num("pid", static_cast<uint64_t>(::getpid()))
+      .Num("unix_ms",
+           static_cast<uint64_t>(std::time(nullptr)) * uint64_t{1000});
+  Emit(begin);
+  return true;
+}
+
+void EventStream::Close(std::string_view outcome) {
+  if (!enabled()) return;
+  Event end("stream_end");
+  end.Str("outcome", outcome)
+      .Num("events", EventCount() + 1);  // count includes this line
+  Emit(end);
+  SetLogSink(nullptr, nullptr);
+  FlightRecorder::Global().Disarm();
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_.store(false, std::memory_order_release);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+double EventStream::NowRelMillis() const {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             std::chrono::steady_clock::now() - t0_)
+      .count();
+}
+
+void EventStream::WriteLine(std::string_view line) {
+  // Single write(2) per line: atomic append, no userspace buffering to
+  // lose in a crash.
+  ssize_t ignored = ::write(fd_, line.data(), line.size());
+  (void)ignored;
+}
+
+void EventStream::Emit(const Event& event) {
+  if (!enabled()) return;
+  std::string line = "{\"v\":" + std::to_string(kEventSchemaVersion) +
+                     ",\"type\":\"" + JsonEscape(event.type()) +
+                     "\",\"ts_ms\":" + FmtDouble(NowRelMillis(), 3) +
+                     ",\"tid\":" + std::to_string(ThreadId());
+  line += event.fields();
+  line += "}\n";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fd_ < 0) return;
+    WriteLine(line);
+    ++counts_by_type_[event.type()];
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  MetricsRegistry::Global().counter("events.emitted").Add();
+  FlightRecorder::Global().Record(
+      std::string_view(line.data(), line.size() - 1));  // sans '\n'
+}
+
+void EventStream::EmitHeartbeat(uint64_t images_done, uint64_t images_total,
+                                uint64_t functions_done,
+                                double functions_per_sec) {
+  if (!enabled()) return;
+  Event beat("heartbeat");
+  beat.Num("images_done", images_done)
+      .Num("images_total", images_total)
+      .Num("functions_done", functions_done)
+      .Double("functions_per_sec", functions_per_sec, 1)
+      .Double("rss_mb", static_cast<double>(CurrentRssBytes()) / (1 << 20), 1)
+      .Num("events", EventCount());
+  Emit(beat);
+}
+
+std::map<std::string, uint64_t> EventStream::CountsByType() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {counts_by_type_.begin(), counts_by_type_.end()};
+}
+
+// ---- helpers --------------------------------------------------------------
+
+void EmitIncident(EventStream& stream, const Incident& incident) {
+  if (!stream.enabled()) return;
+  Event event("incident");
+  event.Str("binary", incident.binary)
+      .Str("phase", incident.phase)
+      .Str("detail", incident.detail)
+      .Str("code", StatusCodeName(incident.status.code()))
+      .Str("message", incident.status.message());
+  if (incident.budget.exhausted_by != BudgetExhaustion::kNone) {
+    event.Str("cause", BudgetExhaustionName(incident.budget.exhausted_by))
+        .Num("steps", incident.budget.steps)
+        .Num("states", incident.budget.states)
+        .Double("elapsed_ms", incident.budget.elapsed_ms, 3);
+  }
+  stream.Emit(event);
+  // An incident is the "something went wrong" moment — flush the ring
+  // now so the lead-up survives even if the process dies later.
+  FlightRecorder::Global().Dump();
+}
+
+uint64_t CurrentRssBytes() {
+#ifdef __linux__
+  // statm field 2 is resident pages.
+  FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (!statm) return 0;
+  unsigned long size = 0, resident = 0;
+  int matched = std::fscanf(statm, "%lu %lu", &size, &resident);
+  std::fclose(statm);
+  if (matched != 2) return 0;
+  long page = ::sysconf(_SC_PAGESIZE);
+  return static_cast<uint64_t>(resident) *
+         static_cast<uint64_t>(page > 0 ? page : 4096);
+#else
+  return 0;
+#endif
+}
+
+// ---- Heartbeat ------------------------------------------------------------
+
+Heartbeat::Heartbeat(EventStream& stream, uint32_t period_ms)
+    : stream_(stream) {
+  if (!stream.enabled() || period_ms == 0) return;
+  last_beat_ = std::chrono::steady_clock::now();
+  running_ = true;
+  thread_ = std::thread([this, period_ms] {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      if (cv_.wait_for(lock, std::chrono::milliseconds(period_ms),
+                       [this] { return stop_; })) {
+        return;
+      }
+      lock.unlock();
+      Beat();
+      lock.lock();
+    }
+  });
+}
+
+void Heartbeat::Beat() {
+  uint64_t functions = MetricsRegistry::Global()
+                           .counter("summary.functions_done")
+                           .Value();
+  auto now = std::chrono::steady_clock::now();
+  double dt =
+      std::chrono::duration_cast<std::chrono::duration<double>>(now -
+                                                                last_beat_)
+          .count();
+  double rate =
+      dt > 0 ? static_cast<double>(functions - last_functions_) / dt : 0.0;
+  stream_.EmitHeartbeat(images_done_.load(std::memory_order_relaxed),
+                        images_total_.load(std::memory_order_relaxed),
+                        functions, rate);
+  last_functions_ = functions;
+  last_beat_ = now;
+}
+
+void Heartbeat::Stop() {
+  if (!running_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  running_ = false;
+  // Final deterministic beat: every heartbeat-enabled run ends with at
+  // least one gauge reading, even if it finished inside one period.
+  Beat();
+}
+
+}  // namespace dtaint::obs

@@ -25,8 +25,10 @@ double UptimeSeconds() {
   return start.Seconds();
 }
 
-void StderrSink(LogLevel level, std::string_view component,
-                std::string_view message, void* /*user*/) {
+}  // namespace
+
+void DefaultLogSink(LogLevel level, std::string_view component,
+                    std::string_view message, void* /*user*/) {
   // One buffered line per record so concurrent threads don't interleave
   // mid-line.
   std::string line = "ts=";
@@ -44,8 +46,6 @@ void StderrSink(LogLevel level, std::string_view component,
   line += '\n';
   std::fwrite(line.data(), 1, line.size(), stderr);
 }
-
-}  // namespace
 
 std::string_view LogLevelName(LogLevel level) {
   switch (level) {
@@ -102,7 +102,7 @@ void Log(LogLevel level, std::string_view component,
   LogSink sink = g_sink.load(std::memory_order_relaxed);
   void* user = g_sink_user.load(std::memory_order_relaxed);
   if (!sink) {
-    StderrSink(level, component, message, nullptr);
+    DefaultLogSink(level, component, message, nullptr);
   } else {
     sink(level, component, message, user);
   }

@@ -12,6 +12,20 @@
 // and a null pointer — no clock read, no allocation (asserted by the
 // obs test suite). Only an enabled span pays for a timestamp pair and,
 // at destruction, one mutex-guarded event append.
+//
+// Two output modes:
+//  * Buffered (Start + WriteChromeJson): events accumulate in memory
+//    and the whole JSON Object Format document is written at the end.
+//    Zero I/O during the run, but a crash loses the entire trace.
+//  * Streamed (StreamTo + FinishStream): events are appended to the
+//    file as they finish, in Chrome's JSON Array Format, one write(2)
+//    per record with the separating comma *prefixed* to the record.
+//    Crash-tolerance guarantee: at any instant the file is
+//    `[\n` + zero or more `,`-separated records — appending a single
+//    `]` makes it a valid JSON array (and Perfetto loads the
+//    unterminated form as-is). Every span that finished before a crash
+//    is in the file; nothing dangles except possibly a torn final
+//    record, which recovery tooling may drop.
 #pragma once
 
 #include <atomic>
@@ -39,6 +53,20 @@ class Tracer {
 
   /// Stops accepting spans (recorded events are kept for export).
   void Stop();
+
+  /// Crash-tolerant alternative to Start(): creates/truncates `path`,
+  /// writes the array opener, and streams each completed event to the
+  /// file immediately (one write(2) per record, comma prefixed — see
+  /// the file comment for the recovery guarantee). Implies Start();
+  /// events are NOT additionally buffered in memory. False on I/O
+  /// failure (tracer stays stopped).
+  bool StreamTo(const std::string& path);
+
+  /// Writes the closing `]` and closes the streamed file; stops the
+  /// tracer. False on I/O failure or if not streaming.
+  bool FinishStream();
+
+  bool streaming() const;
 
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
@@ -74,6 +102,11 @@ class Tracer {
   mutable std::mutex mu_;
   std::vector<Event> events_;
   std::chrono::steady_clock::time_point t0_;
+  // Streamed mode (guarded by mu_): destination fd, whether the next
+  // record is the first (no comma prefix), events written so far.
+  int stream_fd_ = -1;
+  bool stream_first_ = true;
+  size_t stream_count_ = 0;
 };
 
 /// RAII scoped span. Construction against a stopped tracer is a no-op

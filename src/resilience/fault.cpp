@@ -34,6 +34,7 @@ constexpr SiteName kSiteNames[] = {
     {FaultSite::kCacheWrite, "cache_write"},
     {FaultSite::kExtract, "extract"},
     {FaultSite::kLoad, "load"},
+    {FaultSite::kCrash, "crash"},
 };
 
 }  // namespace

@@ -14,7 +14,7 @@
 //   site[@match][:count][+skip]
 //
 //   site   lift | summary | pathfind | cache_read | cache_write |
-//          extract | load
+//          extract | load | crash
 //   match  substring the site's detail string must contain (function
 //          name, binary name, file path); empty matches everything
 //   count  how many matching occurrences fail (default 1, '*' = all)
@@ -52,6 +52,10 @@ enum class FaultSite : uint8_t {
   kCacheWrite,  // disk-cache entry write (transient I/O error)
   kExtract,     // firmware unpacking
   kLoad,        // binary image parsing
+  kCrash,       // hard process death mid-scan (corpus_scan consults it
+                // right after image_begin; the kill-mid-scan oracle in
+                // tests/events_test.cpp proves the event stream and
+                // flight recorder survive)
 };
 
 /// "lift", "summary", "pathfind", "cache_read", ...

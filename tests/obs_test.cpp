@@ -141,6 +141,54 @@ TEST(Histogram, EdgeValues) {
   EXPECT_EQ(h.Count(), 3u);
 }
 
+TEST(Histogram, EmptyHistogramPercentilesAllZero) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("empty");
+  for (double q : {0.0, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(h.ValueAtQuantile(q), 0u) << "q=" << q;
+  }
+  obs::HistogramStats stats = h.Stats();
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_EQ(stats.sum, 0u);
+  EXPECT_EQ(stats.max, 0u);
+  EXPECT_EQ(stats.p50, 0u);
+  EXPECT_EQ(stats.p99, 0u);
+}
+
+TEST(Histogram, SingleSampleAnswersEveryQuantile) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("single");
+  h.Observe(42);
+  // One sample occupies one bucket; every quantile resolves to that
+  // bucket and clamps to the observed max — the sample itself.
+  for (double q : {0.0, 0.01, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(h.ValueAtQuantile(q), 42u) << "q=" << q;
+  }
+  EXPECT_EQ(h.Max(), 42u);
+  EXPECT_EQ(h.Sum(), 42u);
+  obs::HistogramStats stats = h.Stats();
+  EXPECT_EQ(stats.p50, 42u);
+  EXPECT_EQ(stats.p99, 42u);
+}
+
+TEST(Histogram, OverflowBucketHoldsHugeValues) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("huge");
+  h.Observe(UINT64_MAX);
+  h.Observe(uint64_t{1} << 63);
+  // Both land in the last bucket (bit_width 64); quantiles clamp to the
+  // observed max instead of reporting the bucket's notional bound.
+  obs::HistogramStats stats = h.Stats();
+  ASSERT_EQ(stats.buckets.size(),
+            static_cast<size_t>(obs::Histogram::kBuckets));
+  EXPECT_EQ(stats.buckets[obs::Histogram::kBuckets - 1], 2u);
+  EXPECT_EQ(h.ValueAtQuantile(0.99), UINT64_MAX);
+  EXPECT_EQ(h.Max(), UINT64_MAX);
+  // Sum saturates arithmetic-wise (wraps mod 2^64) but count stays
+  // exact — the report's derived mean is best-effort at this extreme.
+  EXPECT_EQ(h.Count(), 2u);
+}
+
 TEST(MetricsSnapshot, DeltaSinceSubtractsCounters) {
   obs::MetricsRegistry registry;
   registry.counter("a").Add(5);

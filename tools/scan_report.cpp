@@ -1,0 +1,56 @@
+// scan_report: fleet summary over one or more NDJSON event streams.
+//
+//   scan_report [--json] [--top N] events.ndjson [more.ndjson ...]
+//
+// Aggregates the streams written by `corpus_scan --events-out` /
+// `dtaint_cli --events-out` — including truncated ones left by killed
+// or crashed workers — into a per-image status table, phase time
+// breakdown, top-N hot functions, and incident/degradation counts.
+// Markdown by default (drop it into a PR comment or
+// $GITHUB_STEP_SUMMARY); --json for machines. A torn final line or
+// malformed record is skipped and counted, never fatal; only an
+// unreadable file is an error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/obs/scan_report.h"
+
+using namespace dtaint;
+
+int main(int argc, char** argv) {
+  bool json = false;
+  obs::ScanReportOptions options;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      options.top_functions = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: scan_report [--json] [--top N] events.ndjson "
+                  "[more.ndjson ...]\n");
+      return 0;
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "scan_report: no event stream files given "
+                         "(--help for usage)\n");
+    return 2;
+  }
+  auto agg = obs::AggregateEventFiles(paths, options);
+  if (!agg.ok()) {
+    std::fprintf(stderr, "scan_report: %s\n",
+                 agg.status().ToString().c_str());
+    return 2;
+  }
+  std::string out = json ? obs::AggregateToJson(*agg)
+                         : obs::AggregateToMarkdown(*agg);
+  std::fputs(out.c_str(), stdout);
+  if (out.empty() || out.back() != '\n') std::fputc('\n', stdout);
+  return 0;
+}
