@@ -9,6 +9,8 @@
 // suffix puts them under bench_diff's nanosecond-scale ratio gate).
 #include <benchmark/benchmark.h>
 
+#include <array>
+
 #include "src/obs/bench.h"
 
 #include "src/cfg/callgraph.h"
@@ -21,6 +23,7 @@
 #include "src/isa/encode.h"
 #include "src/lifter/lifter.h"
 #include "src/symexec/intern.h"
+#include "src/symexec/symstate.h"
 #include "src/synth/firmware_synth.h"
 
 namespace dtaint {
@@ -213,6 +216,99 @@ void BM_SymExecFunction_Legacy(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SymExecFunction_Legacy);
+
+// ---- symbolic-state microbenchmarks ----------------------------------------
+//
+// Fork/mutate churn is the engine's inner loop: every symbolic branch
+// copies the path state. The CoW pair measures the persistent
+// spine+overlay representation against the legacy deep-copying
+// containers on an identically populated state.
+
+/// Populates a state the way a deep path does: register traffic, ~100
+/// distinct memory cells (long paths accumulate stores well past the
+/// entry state's six), and a dozen constraints.
+SymState PopulateState() {
+  SymState s = SymState::Entry(Arch::kDtArm);
+  for (int r = 0; r < kNumIrRegs; ++r) {
+    s.SetReg(r, SymAdd(SymExpr::Arg(r % 4), r));
+  }
+  for (int i = 0; i < 96; ++i) {
+    s.StoreMem(SymAdd(SymExpr::Arg(i % 4), 8 * i),
+               SymExpr::Const(static_cast<uint32_t>(i)), 4);
+  }
+  for (int i = 0; i < 12; ++i) {
+    s.PushConstraint({BinOp::kCmpLt, SymExpr::Arg(i % 4),
+                      SymExpr::Const(static_cast<uint32_t>(64 + i)), true,
+                      static_cast<uint32_t>(0x100 + i)});
+  }
+  return s;
+}
+
+/// One fork plus the child's small divergence — the per-branch cost.
+void StateForkBody(benchmark::State& state) {
+  SymState parent = PopulateState();
+  // Pre-intern the divergence expressions so the loop times state
+  // operations, not expression construction (identical in both modes).
+  SymRef daddr = SymAdd(SymExpr::Arg(0), 4);
+  std::array<SymRef, 16> dvals;
+  for (size_t i = 0; i < dvals.size(); ++i) {
+    dvals[i] = SymExpr::Const(static_cast<uint32_t>(0x9000 + i));
+  }
+  uint32_t salt = 0;
+  for (auto _ : state) {
+    SymState child = parent.Fork();
+    const SymRef& v = dvals[++salt % dvals.size()];
+    child.StoreMem(daddr, v, 4);
+    child.SetReg(2, v);
+    benchmark::DoNotOptimize(child.MemEntryCount());
+  }
+}
+
+void BM_StateFork(benchmark::State& state) {
+  ScopedStateCow on(true);
+  StateForkBody(state);
+}
+BENCHMARK(BM_StateFork);
+
+void BM_StateFork_Legacy(benchmark::State& state) {
+  ScopedStateCow off(false);
+  StateForkBody(state);
+}
+BENCHMARK(BM_StateFork_Legacy);
+
+/// Fan-out/fan-in churn: a parent forks eight children, each diverges
+/// with stores and a constraint, and all observables are consumed —
+/// the shape of a branchy block's exploration frontier.
+void StateMergeBody(benchmark::State& state) {
+  SymState parent = PopulateState();
+  for (auto _ : state) {
+    size_t sum = 0;
+    for (int c = 0; c < 8; ++c) {
+      SymState child = parent.Fork();
+      child.PushConstraint({BinOp::kCmpEq, SymExpr::Arg(c % 4),
+                            SymExpr::Const(static_cast<uint32_t>(c)), true,
+                            0x200});
+      for (int i = 0; i < 4; ++i) {
+        child.StoreMem(SymAdd(SymExpr::Sp0(), -(8 * c + i)),
+                       SymExpr::Const(static_cast<uint32_t>(c * 16 + i)), 4);
+      }
+      sum += child.MemEntryCount() + child.ConstraintCount();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+
+void BM_StateMerge(benchmark::State& state) {
+  ScopedStateCow on(true);
+  StateMergeBody(state);
+}
+BENCHMARK(BM_StateMerge);
+
+void BM_StateMerge_Legacy(benchmark::State& state) {
+  ScopedStateCow off(false);
+  StateMergeBody(state);
+}
+BENCHMARK(BM_StateMerge_Legacy);
 
 void BM_AliasReplace(benchmark::State& state) {
   const Binary& bin = TestProgram().binary;

@@ -28,6 +28,7 @@
 #include "src/obs/bench.h"
 #include "src/report/table.h"
 #include "src/symexec/intern.h"
+#include "src/symexec/symstate.h"
 #include "src/synth/firmware_synth.h"
 #include "src/util/strings.h"
 
@@ -88,10 +89,14 @@ void Sweep(const std::vector<Binary>& corpus, int num_threads,
 
 int main(int argc, char** argv) {
   bool legacy = false;
+  bool legacy_state = false;
   for (int i = 1; i < argc; ++i) {
     legacy = legacy || std::strcmp(argv[i], "--legacy") == 0;
+    legacy_state =
+        legacy_state || std::strcmp(argv[i], "--legacy-state") == 0;
   }
   ScopedExprInterning toggle(!legacy);
+  ScopedStateCow state_toggle(!legacy_state);
   bench::Harness harness(legacy ? "scaling_threads_legacy"
                                 : "scaling_threads",
                          argc, argv);

@@ -71,6 +71,7 @@
 #include "src/report/table.h"
 #include "src/resilience/fault.h"
 #include "src/resilience/incident.h"
+#include "src/symexec/symstate.h"
 #include "src/synth/firmware_synth.h"
 #include "src/util/rng.h"
 #include "src/util/strings.h"
@@ -173,6 +174,7 @@ void PrintUsage() {
       "  --max-expr-nodes N   per-function analysis budget (0 = off)\n"
       "  --corrupt K          corrupt first K extractable images\n"
       "  --fail-fast          stop at the first incident, exit nonzero\n"
+      "  --legacy-state       legacy (non-CoW) symbolic state, for A/B\n"
       "\n"
       "output & observability:\n"
       "  --json-out FILE      fleet report as JSON\n"
@@ -258,6 +260,12 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--fail-fast") == 0) {
       fail_fast = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--legacy-state") == 0) {
+      // A/B escape hatch: legacy deep-copying symbolic state (reports
+      // are byte-identical either way; this trades speed for nothing).
+      SetStateCow(false);
       continue;
     }
     if (i + 1 >= argc) continue;

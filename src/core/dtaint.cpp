@@ -222,7 +222,7 @@ Result<AnalysisReport> DTaint::AnalyzeFunctions(
   }
   obs::Span sanitize_span(tracer, "phase", "sanitize");
   obs::Stopwatch t_sanitize;
-  std::vector<TaintPath> vulnerable = FilterVulnerable(paths);
+  std::vector<TaintPath> vulnerable = FilterVulnerable(std::move(paths));
   sanitize_span.Finish();
   report.pathfinder_stats.sanitized_away =
       report.total_paths - vulnerable.size();

@@ -1,11 +1,13 @@
 #include "src/core/pathfinder.h"
 
 #include <set>
+#include <unordered_map>
 
 #include "src/cfg/loops.h"
 #include "src/core/alias_ondemand.h"
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
+#include "src/util/arena.h"
 #include "src/util/strings.h"
 
 namespace dtaint {
@@ -51,6 +53,70 @@ bool RegionDefCoversUse(const SymRef& def_loc, const SymRef& def_val,
   return SymExpr::Equal(def_base, use_base);
 }
 
+/// Open-addressed set of (function id, expression hash) pairs marking
+/// walk nodes already explored for one trace start. Tables live in the
+/// tracer's bump arena — a FindAll run performs thousands of short
+/// traces, and the former std::set cost a node allocation (plus a
+/// function-name string copy) per visited node; here an insert is a
+/// probe into a flat table and abandoned tables are reclaimed wholesale
+/// when the tracer is destroyed.
+class VisitedSet {
+ public:
+  explicit VisitedSet(BumpArena& arena) : arena_(arena) {
+    slots_ = arena_.NewArray<Slot>(kInitialCap);
+    cap_ = kInitialCap;
+  }
+
+  /// True when (fn_id, expr_hash) was not yet present (and is now).
+  bool Insert(uint64_t fn_id, uint64_t expr_hash) {
+    if ((size_ + 1) * 4 >= cap_ * 3) Grow();
+    // fn_id is offset by 1 on storage so a zeroed slot means empty.
+    uint64_t key1 = fn_id + 1;
+    size_t mask = cap_ - 1;
+    size_t i = Mix(key1, expr_hash) & mask;
+    while (slots_[i].key1 != 0) {
+      if (slots_[i].key1 == key1 && slots_[i].key2 == expr_hash) return false;
+      i = (i + 1) & mask;
+    }
+    slots_[i] = {key1, expr_hash};
+    ++size_;
+    return true;
+  }
+
+ private:
+  struct Slot {
+    uint64_t key1 = 0;  // fn_id + 1; 0 = empty
+    uint64_t key2 = 0;  // expression hash
+  };
+  static constexpr size_t kInitialCap = 64;  // power of two
+
+  static size_t Mix(uint64_t a, uint64_t b) {
+    uint64_t h = a * 0x9e3779b97f4a7c15ull ^ b;
+    h ^= h >> 32;
+    return static_cast<size_t>(h);
+  }
+
+  void Grow() {
+    Slot* old = slots_;
+    size_t old_cap = cap_;
+    cap_ *= 2;
+    slots_ = arena_.NewArray<Slot>(cap_);
+    size_t mask = cap_ - 1;
+    for (size_t j = 0; j < old_cap; ++j) {
+      if (old[j].key1 == 0) continue;
+      size_t i = Mix(old[j].key1, old[j].key2) & mask;
+      while (slots_[i].key1 != 0) i = (i + 1) & mask;
+      slots_[i] = old[j];
+    }
+    // `old` stays in the arena until the tracer dies — deliberate.
+  }
+
+  BumpArena& arena_;
+  Slot* slots_ = nullptr;
+  size_t cap_ = 0;
+  size_t size_ = 0;
+};
+
 class Tracer {
  public:
   Tracer(const Program& program, const ProgramAnalysis& analysis,
@@ -85,12 +151,19 @@ class Tracer {
     for (const SymRef& expr : start_exprs) {
       if (paths_found_for_sink_ >= config_.max_paths_per_sink) break;
       TaintPath path = seed;
-      std::set<std::pair<std::string, uint64_t>> visited;
-      Walk(fn, expr, path, visited, config_.max_depth);
+      VisitedSet visited(arena_);
+      Walk(FnId(fn), fn, expr, path, visited, config_.max_depth);
     }
   }
 
  private:
+  /// Dense id for a function name — the visited set compares ids, not
+  /// strings, so its slots are two machine words.
+  uint64_t FnId(const std::string& fn) {
+    auto [it, added] = fn_ids_.emplace(fn, fn_ids_.size());
+    return it->second;
+  }
+
   void Emit(TaintPath path, uint32_t taint_site,
             const std::string& taint_source) {
     path.source_name = taint_source;
@@ -105,16 +178,15 @@ class Tracer {
     ++stats_.paths_found;
   }
 
-  void Walk(const std::string& fn, const SymRef& expr, TaintPath& path,
-            std::set<std::pair<std::string, uint64_t>>& visited,
-            int depth) {
+  void Walk(uint64_t fn_id, const std::string& fn, const SymRef& expr,
+            TaintPath& path, VisitedSet& visited, int depth) {
     if (!expr) return;
     if (depth <= 0) {
       ++stats_.pruned_by_depth;
       return;
     }
     if (paths_found_for_sink_ >= config_.max_paths_per_sink) return;
-    if (!visited.insert({fn, expr->hash()}).second) return;
+    if (!visited.Insert(fn_id, expr->hash())) return;
     ++stats_.paths_explored;
     path.traced_exprs.push_back(expr);
 
@@ -146,10 +218,10 @@ class Tracer {
       if (!t.empty()) twins = &t;
     }
     for (const SymRef& part : deref_parts) {
-      bool stop = MatchDefs(summary.def_pairs, fn, expr, part, path, visited,
-                            depth);
+      bool stop = MatchDefs(summary.def_pairs, fn_id, fn, expr, part, path,
+                            visited, depth);
       if (!stop && twins) {
-        stop = MatchDefs(*twins, fn, expr, part, path, visited, depth);
+        stop = MatchDefs(*twins, fn_id, fn, expr, part, path, visited, depth);
       }
       if (stop) {
         path.traced_exprs.pop_back();
@@ -179,7 +251,7 @@ class Tracer {
           path.constraints.insert(path.constraints.end(),
                                   event->constraints.begin(),
                                   event->constraints.end());
-          Walk(caller, lifted, path, visited, depth - 1);
+          Walk(FnId(caller), caller, lifted, path, visited, depth - 1);
           path.constraints.resize(constraints_before);
           path.hops.pop_back();
           if (paths_found_for_sink_ >= config_.max_paths_per_sink) {
@@ -195,10 +267,9 @@ class Tracer {
   /// Matches one deref `part` of `expr` against a span of definition
   /// pairs (the summary's own, or the on-demand alias twins). Returns
   /// true when the per-sink path cap was hit and the walk should stop.
-  bool MatchDefs(const std::vector<DefPair>& pairs, const std::string& fn,
-                 const SymRef& expr, const SymRef& part, TaintPath& path,
-                 std::set<std::pair<std::string, uint64_t>>& visited,
-                 int depth) {
+  bool MatchDefs(const std::vector<DefPair>& pairs, uint64_t fn_id,
+                 const std::string& fn, const SymRef& expr, const SymRef& part,
+                 TaintPath& path, VisitedSet& visited, int depth) {
     for (const DefPair& dp : pairs) {
       if (!dp.u || SymExpr::Equal(dp.u, expr)) continue;
       bool covers = DefCoversUse(dp.d, part);
@@ -210,7 +281,7 @@ class Tracer {
       // expression; for region matches the taint covers the part.
       SymRef next = region ? dp.u : SymExpr::Replace(expr, part, dp.u);
       if (dp.degraded) ++degraded_hops_;
-      Walk(fn, next, path, visited, depth - 1);
+      Walk(fn_id, fn, next, path, visited, depth - 1);
       if (dp.degraded) --degraded_hops_;
       path.hops.pop_back();
       if (paths_found_for_sink_ >= config_.max_paths_per_sink) return true;
@@ -226,6 +297,9 @@ class Tracer {
       callers_of_;
   std::set<std::tuple<uint32_t, uint32_t, std::string>> emitted_;
   PathFinderStats& stats_;
+  /// Backs every VisitedSet table for the lifetime of one FindAll run.
+  BumpArena arena_;
+  std::unordered_map<std::string, uint64_t> fn_ids_;
   int paths_found_for_sink_ = 0;
   /// Degraded def pairs currently on the walk stack; any emit while
   /// nonzero marks the path crossed_degraded.

@@ -125,11 +125,11 @@ SanitizationVerdict CheckSanitization(const TaintPath& path) {
   return verdict;
 }
 
-std::vector<TaintPath> FilterVulnerable(const std::vector<TaintPath>& paths) {
+std::vector<TaintPath> FilterVulnerable(std::vector<TaintPath> paths) {
   std::vector<TaintPath> vulnerable;
-  for (const TaintPath& path : paths) {
+  for (TaintPath& path : paths) {
     if (!CheckSanitization(path).sanitized) {
-      vulnerable.push_back(path);
+      vulnerable.push_back(std::move(path));
     }
   }
   return vulnerable;

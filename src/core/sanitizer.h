@@ -26,6 +26,9 @@ struct SanitizationVerdict {
 SanitizationVerdict CheckSanitization(const TaintPath& path);
 
 /// Filters paths down to actual vulnerabilities (unsanitized paths).
-std::vector<TaintPath> FilterVulnerable(const std::vector<TaintPath>& paths);
+/// Takes the paths by value: survivors are moved through, so a caller
+/// done with its vector passes std::move and no TaintPath (hops,
+/// traced expressions, constraint copies) is ever deep-copied.
+std::vector<TaintPath> FilterVulnerable(std::vector<TaintPath> paths);
 
 }  // namespace dtaint

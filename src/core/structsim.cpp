@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_set>
 
 #include "src/core/alias_ondemand.h"
 #include "src/core/pathfinder.h"
@@ -66,20 +67,30 @@ bool IsLayoutRoot(const SymRef& root) {
 }  // namespace
 
 std::vector<StructLayout> ExtractLayouts(const FunctionSummary& summary) {
-  // Gather every base+offset access in the function.
+  // Gather every base+offset access in the function. Summaries repeat
+  // the same (canonical, so pointer-identical) expressions across many
+  // def pairs and calls; a node walked once contributes the same
+  // accesses to the same std::set groups every time, so the pointer
+  // dedup is output-invariant and skips the repeated deref walks.
   std::vector<std::pair<SymRef, int64_t>> accesses;
+  std::unordered_set<const SymExpr*> walked;
+  auto collect_once = [&](const SymRef& e) {
+    if (!e) return;
+    if (!walked.insert(e.get()).second) return;
+    CollectAccesses(e, &accesses);
+  };
   for (const DefPair& dp : summary.def_pairs) {
-    if (dp.d) CollectAccesses(dp.d, &accesses);
-    if (dp.u) CollectAccesses(dp.u, &accesses);
+    collect_once(dp.d);
+    collect_once(dp.u);
   }
   for (const UseRecord& use : summary.undefined_uses) {
-    if (use.u) CollectAccesses(use.u, &accesses);
+    collect_once(use.u);
   }
   for (const CallEvent& call : summary.calls) {
     for (const SymRef& arg : call.args) {
-      if (arg) CollectAccesses(arg, &accesses);
+      collect_once(arg);
     }
-    if (call.indirect_target) CollectAccesses(call.indirect_target, &accesses);
+    collect_once(call.indirect_target);
   }
 
   // Group by root pointer.

@@ -1,6 +1,8 @@
 #include "src/symexec/engine.h"
 
 #include <deque>
+#include <memory>
+#include <unordered_map>
 
 #include "src/util/hash.h"
 
@@ -103,6 +105,152 @@ struct Work {
   SymState state;
 };
 
+/// Pointer-first canonical comparison (both operands may be null).
+bool SameValue(const SymRef& a, const SymRef& b) {
+  if (a.get() == b.get()) return true;
+  if (!a || !b) return false;
+  return SymExpr::Equal(a, b);
+}
+
+// ---- block-transfer memoization --------------------------------------------
+//
+// A block's effect on a path state is a deterministic function of (a)
+// the immutable block/binary and (b) the values the block actually
+// reads out of the incoming state. Executing a block under a recording
+// tape captures exactly those reads — registers and memory cells
+// consulted before the block wrote them — as an ordered probe list,
+// and every externally visible effect (state writes, def pairs,
+// undefined uses, call events, type observations, the successor
+// decision) as a replayable delta. A later visit whose state matches
+// every probe (canonical pointer compare, falling back to structural
+// Equal — exact, not a hash gamble) must produce the same effects, by
+// induction over the probe order: probe k is a deterministic function
+// of the block and probes 0..k-1. Replay substitutes the current
+// path's id and constraint trail, which are the only path-dependent
+// parts of the recorded effects (constraints never change mid-block —
+// they are pushed at block exits). Blocks that widened (the fresh
+// symbol draws from a global counter) are never memoized, and the
+// whole machinery is off under a limited budget so degradation points
+// stay bit-exact with per-statement charging.
+
+/// The successor decision a block execution arrived at; shared by the
+/// executed and replayed paths (Dispatch interprets it).
+struct ExitDecision {
+  enum Kind : uint8_t { kFinish, kGoto, kFork, kReturn } kind = kFinish;
+  uint32_t target = 0;       // kGoto destination / kFork taken target
+  uint32_t fallthrough = 0;  // kFork untaken side
+  bool has_fallthrough = false;
+  BinOp op = BinOp::kCmpEq;  // kFork guard
+  SymRef guard_lhs, guard_rhs;
+  uint32_t site = 0;
+  SymRef ret_value;          // kReturn
+};
+
+struct MemoProbe {
+  int reg = -1;  // >= 0: register probe; -1: memory probe at `addr`
+  SymRef addr;
+  SymRef value;  // expected value; nullptr = location undefined
+};
+
+struct MemoWrite {
+  int reg = -1;
+  SymRef addr;
+  SymRef value;
+  uint8_t size = 0;
+};
+
+struct MemoDef {
+  SymRef d, u;
+  uint32_t site = 0;
+};
+
+struct MemoUse {
+  SymRef u;
+  uint32_t site = 0;
+};
+
+struct BlockMemo {
+  std::vector<MemoProbe> probes;
+  std::vector<MemoWrite> writes;
+  std::vector<MemoDef> defs;
+  std::vector<MemoUse> uses;
+  std::vector<CallEvent> calls;  // path_id/constraints filled at replay
+  std::vector<std::pair<SymRef, ValueType>> types;
+  uint32_t steps = 0;  // statements the recorded execution charged
+  ExitDecision exit;
+};
+
+constexpr size_t kMaxMemoPerBlock = 4;  // distinct footprints kept per block
+constexpr size_t kMaxMemoProbes = 32;   // beyond this, recording is abandoned
+constexpr size_t kMaxMemoWrites = 128;
+
+/// StateTape that builds a BlockMemo while a block executes. Reads of
+/// locations the block already wrote are replay-internal and excluded
+/// from the footprint; duplicate probes are collapsed (same state →
+/// same value, so one check suffices).
+class MemoRecorder : public StateTape {
+ public:
+  void Begin() {
+    memo = BlockMemo{};
+    written_regs_ = 0;
+    probed_regs_ = 0;
+    written_addrs_.clear();
+    active = true;
+  }
+
+  void OnRegRead(int reg, const SymRef& value) override {
+    if (!active) return;
+    if (reg < 0 || reg >= 64) {
+      active = false;
+      return;
+    }
+    uint64_t bit = uint64_t{1} << reg;
+    if ((written_regs_ | probed_regs_) & bit) return;
+    probed_regs_ |= bit;
+    memo.probes.push_back({reg, nullptr, value});
+    if (memo.probes.size() > kMaxMemoProbes) active = false;
+  }
+
+  void OnRegWrite(int reg, const SymRef& value) override {
+    if (!active) return;
+    if (reg < 0 || reg >= 64) {
+      active = false;
+      return;
+    }
+    written_regs_ |= uint64_t{1} << reg;
+    memo.writes.push_back({reg, nullptr, value, 0});
+    if (memo.writes.size() > kMaxMemoWrites) active = false;
+  }
+
+  void OnMemRead(const SymRef& addr, const SymRef& value) override {
+    if (!active) return;
+    for (const SymRef& w : written_addrs_) {
+      if (SameValue(w, addr)) return;
+    }
+    for (const MemoProbe& p : memo.probes) {
+      if (p.reg < 0 && SameValue(p.addr, addr)) return;
+    }
+    memo.probes.push_back({-1, addr, value});
+    if (memo.probes.size() > kMaxMemoProbes) active = false;
+  }
+
+  void OnMemWrite(const SymRef& addr, const SymRef& value,
+                  uint8_t size) override {
+    if (!active) return;
+    written_addrs_.push_back(addr);
+    memo.writes.push_back({-1, addr, value, size});
+    if (memo.writes.size() > kMaxMemoWrites) active = false;
+  }
+
+  BlockMemo memo;
+  bool active = false;
+
+ private:
+  uint64_t written_regs_ = 0;
+  uint64_t probed_regs_ = 0;
+  std::vector<SymRef> written_addrs_;
+};
+
 class Exploration {
  public:
   Exploration(const Binary& binary, const Function& fn,
@@ -112,11 +260,23 @@ class Exploration {
         budget_(budget), cc_(ConventionFor(binary.arch)) {}
 
   void Run() {
-    SymState init = SymState::Entry(binary_.arch);
+    // Dense per-function block numbering for the visited bitset (map
+    // order = address order, deterministic).
+    for (const auto& [addr, block] : fn_.blocks) {
+      block_index_.emplace(addr, static_cast<int>(block_index_.size()));
+    }
+    bool cow = StateCowEnabled();
+    // Memoization replays whole blocks; under a limited budget the
+    // per-statement charge points ARE the observable behavior
+    // (degradation must trip at the same statement), so it stays off.
+    memo_enabled_ =
+        config_.block_memo && cow && !(budget_ && budget_->limits().limited());
+    if (cow) arena_ = std::make_shared<StateArena>();
+    SymState init = SymState::Entry(binary_.arch, arena_);
     init.path_id = next_path_id_++;
     work_.push_back({fn_.addr, std::move(init)});
     while (!work_.empty()) {
-      if (budget_ && budget_->exhausted()) return;
+      if (budget_ && budget_->exhausted()) break;
       if (summary_.paths_explored >= config_.max_paths ||
           block_visits_ >= config_.max_block_visits) {
         summary_.truncated = true;
@@ -125,6 +285,12 @@ class Exploration {
       Work work = std::move(work_.back());
       work_.pop_back();
       ExecuteBlock(work.block_addr, std::move(work.state));
+    }
+    if (arena_) {
+      summary_.engine_stats.cow_chunk_copies = arena_->stats.cow_chunk_copies;
+      summary_.engine_stats.overlay_spills = arena_->stats.overlay_spills;
+      summary_.engine_stats.trie_nodes = arena_->stats.trie_nodes;
+      summary_.engine_stats.arena_bytes = arena_->arena.bytes_reserved();
     }
   }
 
@@ -147,7 +313,7 @@ class Exploration {
         SymRef addr = EvalExpr(e->lhs(), tmps, state, site);
         if (config_.record_types) {
           auto split = SymExpr::SplitBaseOffset(addr);
-          if (split.base) summary_.types.Observe(split.base, ValueType::kPtr);
+          if (split.base) ObserveType(split.base, ValueType::kPtr);
         }
         // Concrete addresses into .rodata/.data read the actual bytes —
         // string literals, dispatch tables (function pointers!).
@@ -162,8 +328,7 @@ class Exploration {
           if (root && (root->kind() == SymKind::kArg ||
                        root->kind() == SymKind::kRet ||
                        root->kind() == SymKind::kHeap)) {
-            summary_.undefined_uses.push_back(
-                {value, site, state.path_id});
+            RecordUndefinedUse(state, value, site);
           }
         }
         return value;
@@ -192,15 +357,41 @@ class Exploration {
     return args;
   }
 
+  // ---- effect funnels (observed by the memo recorder) ----------------------
+
   void RecordDef(SymState& state, SymRef location, SymRef value,
                  uint32_t site) {
+    if (recorder_.active) {
+      recorder_.memo.defs.push_back({location, value, site});
+    }
     DefPair dp;
     dp.d = std::move(location);
     dp.u = std::move(value);
     dp.site = site;
     dp.path_id = state.path_id;
-    dp.constraints = state.constraints();
+    dp.constraints = state.ConstraintsSnapshot();
     summary_.def_pairs.push_back(std::move(dp));
+  }
+
+  void RecordUndefinedUse(SymState& state, const SymRef& value,
+                          uint32_t site) {
+    if (recorder_.active) recorder_.memo.uses.push_back({value, site});
+    summary_.undefined_uses.push_back({value, site, state.path_id});
+  }
+
+  void RecordCall(CallEvent event) {
+    if (recorder_.active) {
+      CallEvent proto = event;
+      proto.constraints.clear();
+      proto.path_id = 0;
+      recorder_.memo.calls.push_back(std::move(proto));
+    }
+    summary_.calls.push_back(std::move(event));
+  }
+
+  void ObserveType(const SymRef& expr, ValueType type) {
+    if (recorder_.active) recorder_.memo.types.push_back({expr, type});
+    summary_.types.Observe(expr, type);
   }
 
   /// Applies a library model's memory/taint/return effects.
@@ -263,11 +454,67 @@ class Exploration {
     if (config_.record_types) {
       if (const LibSignature* sig = FindLibSignature(name)) {
         for (size_t i = 0; i < sig->params.size() && i < args.size(); ++i) {
-          summary_.types.Observe(args[i], sig->params[i]);
+          ObserveType(args[i], sig->params[i]);
         }
-        summary_.types.Observe(ret, sig->ret);
+        ObserveType(ret, sig->ret);
       }
     }
+  }
+
+  int BlockIndexOf(uint32_t block_addr) const {
+    auto it = block_index_.find(block_addr);
+    return it == block_index_.end() ? 0 : it->second;
+  }
+
+  bool ProbesMatch(const BlockMemo& memo, const SymState& state) const {
+    for (const MemoProbe& p : memo.probes) {
+      if (p.reg >= 0) {
+        if (!SameValue(state.Reg(p.reg), p.value)) return false;
+      } else {
+        SymRef current = state.PeekMem(p.addr);
+        if (!SameValue(current, p.value)) return false;
+      }
+    }
+    return true;
+  }
+
+  void ReplayMemo(const BlockMemo& memo, SymState state) {
+    // Bulk step charge keeps the budget's effort counters identical to
+    // the executed path (only reachable with an unlimited budget).
+    if (budget_ && budget_->ChargeSteps(memo.steps)) return;
+    for (const MemoWrite& w : memo.writes) {
+      if (w.reg >= 0) {
+        state.SetReg(w.reg, w.value);
+      } else {
+        state.StoreMem(w.addr, w.value, w.size);
+      }
+    }
+    std::vector<PathConstraint> constraints;
+    if (!memo.defs.empty() || !memo.calls.empty()) {
+      constraints = state.ConstraintsSnapshot();
+    }
+    for (const MemoDef& d : memo.defs) {
+      DefPair dp;
+      dp.d = d.d;
+      dp.u = d.u;
+      dp.site = d.site;
+      dp.path_id = state.path_id;
+      dp.constraints = constraints;
+      summary_.def_pairs.push_back(std::move(dp));
+    }
+    for (const MemoUse& u : memo.uses) {
+      summary_.undefined_uses.push_back({u.u, u.site, state.path_id});
+    }
+    for (const CallEvent& proto : memo.calls) {
+      CallEvent event = proto;
+      event.constraints = constraints;
+      event.path_id = state.path_id;
+      summary_.calls.push_back(std::move(event));
+    }
+    for (const auto& [expr, type] : memo.types) {
+      summary_.types.Observe(expr, type);
+    }
+    Dispatch(memo.exit, std::move(state));
   }
 
   void ExecuteBlock(uint32_t block_addr, SymState state) {
@@ -276,14 +523,37 @@ class Exploration {
       FinishPath(state);
       return;
     }
-    if (state.visited_blocks().count(block_addr)) {
+    int block_idx = BlockIndexOf(block_addr);
+    if (state.VisitedBlock(block_addr, block_idx)) {
       // Loop heuristic: a block is analyzed once per path.
       FinishPath(state);
       return;
     }
-    state.visited_blocks().insert(block_addr);
+    state.MarkVisited(block_addr, block_idx);
     ++block_visits_;
     ++summary_.blocks_visited;
+
+    bool recording = false;
+    if (memo_enabled_) {
+      ++summary_.engine_stats.memo_lookups;
+      auto it = memo_.find(block_addr);
+      if (it != memo_.end()) {
+        for (const auto& entry : it->second) {
+          if (ProbesMatch(*entry, state)) {
+            ++summary_.engine_stats.memo_hits;
+            ReplayMemo(*entry, std::move(state));
+            return;
+          }
+        }
+      }
+      if (it == memo_.end() || it->second.size() < kMaxMemoPerBlock) {
+        recorder_.Begin();
+        state.AttachTape(&recorder_);
+        recording = true;
+      }
+    }
+    uint32_t widen_before = widen_counter_;
+    uint32_t steps_in_block = 0;
 
     std::vector<SymRef> tmps(block->next_tmp);
     uint32_t cur_site = block_addr;
@@ -304,7 +574,12 @@ class Exploration {
       // Cooperative watchdog: one budget step per IR statement. On
       // exhaustion abandon the block mid-way — the caller throws the
       // whole partial summary away and degrades.
-      if (budget_ && budget_->ChargeStep()) return;
+      ++steps_in_block;
+      if (budget_ && budget_->ChargeStep()) {
+        state.DetachTape();
+        recorder_.active = false;
+        return;
+      }
       switch (stmt.kind) {
         case StmtKind::kIMark:
           cur_site = stmt.addr;
@@ -317,7 +592,7 @@ class Exploration {
           if (config_.record_types && stmt.reg == kFlagRhs &&
               value->kind() == SymKind::kConst) {
             // CMP rX, #imm marks rX's value as an integer.
-            summary_.types.Observe(state.Reg(kFlagLhs), ValueType::kInt);
+            ObserveType(state.Reg(kFlagLhs), ValueType::kInt);
           }
           state.SetReg(stmt.reg, std::move(value));
           break;
@@ -328,7 +603,7 @@ class Exploration {
           if (config_.record_types) {
             auto split = SymExpr::SplitBaseOffset(addr);
             if (split.base) {
-              summary_.types.Observe(split.base, ValueType::kPtr);
+              ObserveType(split.base, ValueType::kPtr);
             }
           }
           state.StoreMem(addr, data, stmt.size);
@@ -358,6 +633,7 @@ class Exploration {
     }
 
     // Decide successors.
+    ExitDecision exit;
     switch (block->jumpkind) {
       case JumpKind::kBoring: {
         uint32_t fallthrough = 0;
@@ -372,36 +648,29 @@ class Exploration {
           if (px.concrete) {
             // Deterministic branch: follow only the feasible side.
             if (px.concrete_taken) {
-              Continue(px.target, std::move(state));
+              exit.kind = ExitDecision::kGoto;
+              exit.target = px.target;
             } else if (has_fallthrough) {
-              Continue(fallthrough, std::move(state));
-            } else {
-              FinishPath(state);
+              exit.kind = ExitDecision::kGoto;
+              exit.target = fallthrough;
             }
-            return;
-          }
-          // Symbolic: explore both directions (paper: "DTaint explores
-          // both directions of each conditional branch").
-          SymState taken = state;
-          taken.path_id = next_path_id_++;
-          taken.constraints().push_back(
-              {px.op, px.guard_lhs, px.guard_rhs, true, px.site});
-          Continue(px.target, std::move(taken));
-          if (has_fallthrough) {
-            state.constraints().push_back(
-                {px.op, px.guard_lhs, px.guard_rhs, false, px.site});
-            Continue(fallthrough, std::move(state));
           } else {
-            FinishPath(state);
+            // Symbolic: explore both directions (paper: "DTaint
+            // explores both directions of each conditional branch").
+            exit.kind = ExitDecision::kFork;
+            exit.target = px.target;
+            exit.fallthrough = fallthrough;
+            exit.has_fallthrough = has_fallthrough;
+            exit.op = px.op;
+            exit.guard_lhs = px.guard_lhs;
+            exit.guard_rhs = px.guard_rhs;
+            exit.site = px.site;
           }
-          return;
+        } else if (has_fallthrough) {
+          exit.kind = ExitDecision::kGoto;
+          exit.target = fallthrough;
         }
-        if (has_fallthrough) {
-          Continue(fallthrough, std::move(state));
-        } else {
-          FinishPath(state);
-        }
-        return;
+        break;
       }
       case JumpKind::kCall: {
         const CallSite* cs = nullptr;
@@ -411,11 +680,10 @@ class Exploration {
         if (cs) HandleDirectCall(*cs, state);
         if (block->return_addr >= fn_.addr &&
             block->return_addr < fn_.addr + fn_.size) {
-          Continue(block->return_addr, std::move(state));
-        } else {
-          FinishPath(state);
+          exit.kind = ExitDecision::kGoto;
+          exit.target = block->return_addr;
         }
-        return;
+        break;
       }
       case JumpKind::kIndirectCall: {
         const CallSite* cs = nullptr;
@@ -431,22 +699,67 @@ class Exploration {
           event.indirect_target =
               EvalExpr(block->next, dummy_tmps, state, cs->call_addr);
           event.args = CollectArgs(state, kNumRegArgs + 2);
-          event.constraints = state.constraints();
+          event.constraints = state.ConstraintsSnapshot();
           event.path_id = state.path_id;
-          summary_.calls.push_back(std::move(event));
+          RecordCall(std::move(event));
           state.SetReg(cc_.ret_reg, SymExpr::Ret(cs->call_addr));
         }
         if (block->return_addr >= fn_.addr &&
             block->return_addr < fn_.addr + fn_.size) {
-          Continue(block->return_addr, std::move(state));
+          exit.kind = ExitDecision::kGoto;
+          exit.target = block->return_addr;
+        }
+        break;
+      }
+      case JumpKind::kRet: {
+        exit.kind = ExitDecision::kReturn;
+        exit.ret_value = state.Reg(cc_.ret_reg);
+        break;
+      }
+    }
+
+    if (recording) {
+      state.DetachTape();
+      // A widened block bakes a draw from the global fresh-symbol
+      // counter into its delta; replaying it would desequence later
+      // widenings. Never memoize those.
+      if (recorder_.active && widen_counter_ == widen_before) {
+        auto memo = std::make_unique<BlockMemo>(std::move(recorder_.memo));
+        memo->steps = steps_in_block;
+        memo->exit = exit;
+        memo_[block_addr].push_back(std::move(memo));
+      }
+      recorder_.active = false;
+    }
+    Dispatch(exit, std::move(state));
+  }
+
+  void Dispatch(const ExitDecision& exit, SymState state) {
+    switch (exit.kind) {
+      case ExitDecision::kFinish:
+        FinishPath(state);
+        return;
+      case ExitDecision::kGoto:
+        Continue(exit.target, std::move(state));
+        return;
+      case ExitDecision::kReturn:
+        summary_.return_values.push_back(exit.ret_value);
+        FinishPath(state);
+        return;
+      case ExitDecision::kFork: {
+        ++summary_.engine_stats.state_forks;
+        SymState taken = state.Fork();
+        taken.path_id = next_path_id_++;
+        taken.PushConstraint(
+            {exit.op, exit.guard_lhs, exit.guard_rhs, true, exit.site});
+        Continue(exit.target, std::move(taken));
+        if (exit.has_fallthrough) {
+          state.PushConstraint(
+              {exit.op, exit.guard_lhs, exit.guard_rhs, false, exit.site});
+          Continue(exit.fallthrough, std::move(state));
         } else {
           FinishPath(state);
         }
-        return;
-      }
-      case JumpKind::kRet: {
-        summary_.return_values.push_back(state.Reg(cc_.ret_reg));
-        FinishPath(state);
         return;
       }
     }
@@ -466,7 +779,7 @@ class Exploration {
     event.callee = cs.target_name;
     event.is_import = cs.target_is_import;
     event.args = CollectArgs(state, arg_count);
-    event.constraints = state.constraints();
+    event.constraints = state.ConstraintsSnapshot();
     event.path_id = state.path_id;
 
     if (cs.target_is_import) {
@@ -477,7 +790,7 @@ class Exploration {
       // summary (Algorithm 2).
       state.SetReg(cc_.ret_reg, SymExpr::Ret(cs.call_addr));
     }
-    summary_.calls.push_back(std::move(event));
+    RecordCall(std::move(event));
   }
 
   void Continue(uint32_t block_addr, SymState state) {
@@ -486,7 +799,7 @@ class Exploration {
   }
 
   void FinishPath(const SymState& state) {
-    (void)state;
+    if (state.MayHoldTaint()) ++summary_.engine_stats.tainted_paths;
     ++summary_.paths_explored;
   }
 
@@ -498,6 +811,11 @@ class Exploration {
   const CallingConvention& cc_;
 
   std::vector<Work> work_;
+  std::shared_ptr<StateArena> arena_;
+  std::unordered_map<uint32_t, int> block_index_;
+  std::unordered_map<uint32_t, std::vector<std::unique_ptr<BlockMemo>>> memo_;
+  MemoRecorder recorder_;
+  bool memo_enabled_ = false;
   int next_path_id_ = 0;
   int block_visits_ = 0;
   uint32_t widen_counter_ = 0;

@@ -1,0 +1,116 @@
+// Dense dynamic bitset with a two-word inline buffer.
+//
+// Replaces the std::set<uint32_t> visited-block sets in the symbolic
+// engine: blocks are numbered densely per function, so membership is a
+// word index + mask instead of a red-black tree walk, and copying a
+// path state copies two inline words for the common (≤128 block)
+// function instead of rebuilding a tree. Bits auto-grow on Set; Test
+// beyond the current capacity reads as false.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace dtaint {
+
+class DynamicBitset {
+ public:
+  static constexpr size_t kInlineWords = 2;
+
+  DynamicBitset() = default;
+  ~DynamicBitset() { delete[] heap_; }
+
+  DynamicBitset(const DynamicBitset& other) { CopyFrom(other); }
+  DynamicBitset& operator=(const DynamicBitset& other) {
+    if (this != &other) {
+      delete[] heap_;
+      heap_ = nullptr;
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  DynamicBitset(DynamicBitset&& other) noexcept { MoveFrom(other); }
+  DynamicBitset& operator=(DynamicBitset&& other) noexcept {
+    if (this != &other) {
+      delete[] heap_;
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  bool Test(size_t bit) const {
+    size_t word = bit >> 6;
+    if (word >= words_) return false;
+    return (data()[word] >> (bit & 63)) & 1;
+  }
+
+  void Set(size_t bit) {
+    size_t word = bit >> 6;
+    if (word >= words_) Grow(word + 1);
+    data()[word] |= uint64_t{1} << (bit & 63);
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t n = 0;
+    for (size_t i = 0; i < words_; ++i) n += Popcount(data()[i]);
+    return n;
+  }
+
+  size_t capacity_bits() const { return words_ * 64; }
+
+ private:
+  static size_t Popcount(uint64_t w) {
+#if defined(__GNUC__) || defined(__clang__)
+    return static_cast<size_t>(__builtin_popcountll(w));
+#else
+    size_t n = 0;
+    while (w) {
+      w &= w - 1;
+      ++n;
+    }
+    return n;
+#endif
+  }
+
+  uint64_t* data() { return heap_ ? heap_ : inline_; }
+  const uint64_t* data() const { return heap_ ? heap_ : inline_; }
+
+  void Grow(size_t need_words) {
+    size_t new_words = words_ * 2;
+    if (new_words < need_words) new_words = need_words;
+    auto* fresh = new uint64_t[new_words];
+    std::memcpy(fresh, data(), words_ * sizeof(uint64_t));
+    std::memset(fresh + words_, 0, (new_words - words_) * sizeof(uint64_t));
+    delete[] heap_;
+    heap_ = fresh;
+    words_ = new_words;
+  }
+
+  void CopyFrom(const DynamicBitset& other) {
+    words_ = other.words_;
+    if (other.heap_) {
+      heap_ = new uint64_t[words_];
+      std::memcpy(heap_, other.heap_, words_ * sizeof(uint64_t));
+    } else {
+      heap_ = nullptr;
+      std::memcpy(inline_, other.inline_, sizeof(inline_));
+    }
+  }
+
+  void MoveFrom(DynamicBitset& other) {
+    words_ = other.words_;
+    heap_ = other.heap_;
+    std::memcpy(inline_, other.inline_, sizeof(inline_));
+    other.heap_ = nullptr;
+    other.words_ = kInlineWords;
+    std::memset(other.inline_, 0, sizeof(other.inline_));
+  }
+
+  size_t words_ = kInlineWords;
+  uint64_t inline_[kInlineWords] = {0, 0};
+  uint64_t* heap_ = nullptr;
+};
+
+}  // namespace dtaint
