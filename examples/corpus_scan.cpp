@@ -39,6 +39,18 @@
 //                        hash-consed; results are identical for any
 //                        thread count)
 //
+// Crash isolation & resume (src/resilience/supervisor.h): with
+// `--isolate` each image is scanned in a forked worker process — a
+// SIGSEGV, OOM kill, or hang in one image can no longer take the fleet
+// run down. Failed workers are retried with backoff under a tightened
+// budget (`--max-retries N`, default 2) and quarantined when the
+// retries are spent; `--image-timeout-ms MS` arms a per-image
+// wall-clock watchdog and `--mem-limit-mb MB` an RLIMIT_AS cap.
+// `--journal DIR` appends a crash-safe checkpoint record per image
+// outcome, and `--resume` replays it so a rerun after kill -9 skips
+// completed images and produces a byte-identical merged report. The
+// default (no flags) stays fully in-process.
+//
 // Observability: `--log-level LEVEL` sets the stderr log threshold,
 // `--trace-out FILE` streams a fleet-wide Chrome trace (JSON Array
 // Format, crash-tolerant — append `]` to recover a killed worker's
@@ -71,8 +83,11 @@
 #include "src/report/table.h"
 #include "src/resilience/fault.h"
 #include "src/resilience/incident.h"
+#include "src/resilience/journal.h"
+#include "src/resilience/supervisor.h"
 #include "src/symexec/symstate.h"
 #include "src/synth/firmware_synth.h"
+#include "src/util/hash.h"
 #include "src/util/rng.h"
 #include "src/util/strings.h"
 
@@ -176,6 +191,18 @@ void PrintUsage() {
       "  --fail-fast          stop at the first incident, exit nonzero\n"
       "  --legacy-state       legacy (non-CoW) symbolic state, for A/B\n"
       "\n"
+      "isolation & resume:\n"
+      "  --isolate            scan each image in a forked worker\n"
+      "                       process (crash/OOM/hang isolation)\n"
+      "  --workers N          concurrent isolated workers (default 1)\n"
+      "  --max-retries N      retries per failed image before\n"
+      "                       quarantine (default 2)\n"
+      "  --image-timeout-ms MS  per-image wall-clock watchdog (0 = off)\n"
+      "  --mem-limit-mb MB    per-worker address-space cap (0 = off)\n"
+      "  --journal DIR        append-only checkpoint journal\n"
+      "  --resume             replay the journal; skip images already\n"
+      "                       done or quarantined (needs --journal)\n"
+      "\n"
       "output & observability:\n"
       "  --json-out FILE      fleet report as JSON\n"
       "  --log-level LEVEL    error | warn | info | debug (stderr)\n"
@@ -196,20 +223,28 @@ struct ImageResult {
   std::string product;
   std::string arch;
   std::string packing;
-  /// "ok", "unextractable" (expected vendor encryption), or "failed"
-  /// (an incident was recorded for this image).
+  /// "ok", "unextractable" (expected vendor encryption), "failed" (an
+  /// incident was recorded for this image), or "quarantined" (the
+  /// supervisor gave up after retries).
   std::string status;
   bool complete = false;
-  size_t functions = 0;
-  size_t finding_count = 0;
+  uint64_t functions = 0;
+  uint64_t finding_count = 0;
   std::string findings_json = "[]";
-  std::optional<DetectionScore> score;
+  bool has_score = false;
+  std::string score_json;
+  uint32_t attempts = 1;
+};
+
+struct FleetTotals {
+  size_t tp = 0, fn = 0, fp = 0;
+  size_t unextractable = 0, complete_images = 0;
+  size_t retries = 0, quarantined = 0, worker_restarts = 0;
 };
 
 std::string FleetToJson(const std::vector<ImageResult>& images,
                         const std::vector<Incident>& incidents,
-                        size_t tp, size_t fn, size_t fp,
-                        size_t unextractable, size_t complete_images) {
+                        const FleetTotals& totals) {
   std::string out = "{\n  \"images\": [";
   for (size_t i = 0; i < images.size(); ++i) {
     const ImageResult& im = images[i];
@@ -222,19 +257,23 @@ std::string FleetToJson(const std::vector<ImageResult>& images,
     out += ", \"status\": \"" + JsonEscape(im.status) + "\"";
     out += std::string(", \"complete\": ") + (im.complete ? "true" : "false");
     out += ", \"functions\": " + std::to_string(im.functions);
+    out += ", \"attempts\": " + std::to_string(im.attempts);
     out += ", \"findings\": " + im.findings_json;
-    if (im.score) out += ", \"score\": " + ScoreToJson(*im.score);
+    if (im.has_score) out += ", \"score\": " + im.score_json;
     out += "}";
   }
   out += "\n  ],\n  \"incidents\": " + IncidentsToJson(incidents);
   out += ",\n  \"totals\": {";
   out += "\"images\": " + std::to_string(images.size());
-  out += ", \"complete_images\": " + std::to_string(complete_images);
-  out += ", \"unextractable\": " + std::to_string(unextractable);
+  out += ", \"complete_images\": " + std::to_string(totals.complete_images);
+  out += ", \"unextractable\": " + std::to_string(totals.unextractable);
   out += ", \"incidents\": " + std::to_string(incidents.size());
-  out += ", \"tp\": " + std::to_string(tp);
-  out += ", \"fn\": " + std::to_string(fn);
-  out += ", \"fp\": " + std::to_string(fp);
+  out += ", \"retries\": " + std::to_string(totals.retries);
+  out += ", \"quarantined\": " + std::to_string(totals.quarantined);
+  out += ", \"worker_restarts\": " + std::to_string(totals.worker_restarts);
+  out += ", \"tp\": " + std::to_string(totals.tp);
+  out += ", \"fn\": " + std::to_string(totals.fn);
+  out += ", \"fp\": " + std::to_string(totals.fp);
   out += "}\n}";
   return out;
 }
@@ -247,10 +286,17 @@ int main(int argc, char** argv) {
   const char* metrics_out = nullptr;
   const char* json_out = nullptr;
   const char* events_out = nullptr;
+  const char* journal_dir = nullptr;
   int heartbeat_ms = 1000;
   int num_threads = 1;
   int corrupt_count = 0;
+  int workers = 1;
+  int max_retries = 2;
+  int image_timeout_ms = 0;
+  int mem_limit_mb = 0;
   bool fail_fast = false;
+  bool isolate = false;
+  bool resume = false;
   AnalysisBudget budget;
   AliasMode alias_mode = AliasMode::kEager;
   for (int i = 1; i < argc; ++i) {
@@ -260,6 +306,14 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--fail-fast") == 0) {
       fail_fast = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--isolate") == 0) {
+      isolate = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
       continue;
     }
     if (std::strcmp(argv[i], "--legacy-state") == 0) {
@@ -291,6 +345,16 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--corrupt") == 0) {
       corrupt_count = atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      workers = atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--max-retries") == 0) {
+      max_retries = atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--image-timeout-ms") == 0) {
+      image_timeout_ms = atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--mem-limit-mb") == 0) {
+      mem_limit_mb = atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--journal") == 0) {
+      journal_dir = argv[i + 1];
     } else if (std::strcmp(argv[i], "--json-out") == 0) {
       json_out = argv[i + 1];
     } else if (std::strcmp(argv[i], "--log-level") == 0) {
@@ -309,6 +373,10 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--heartbeat-ms") == 0) {
       heartbeat_ms = atoi(argv[i + 1]);
     }
+  }
+  if (resume && !journal_dir) {
+    std::fprintf(stderr, "--resume needs --journal DIR\n");
+    return 2;
   }
   if (trace_out && !obs::Tracer::Global().StreamTo(trace_out)) {
     std::fprintf(stderr, "cannot open trace file %s\n", trace_out);
@@ -333,14 +401,14 @@ int main(int argc, char** argv) {
       ++corrupted;
     }
   }
-  std::printf("fleet scan: %zu firmware images%s%s\n\n", corpus.size(),
+  std::printf("fleet scan: %zu firmware images%s%s%s\n\n", corpus.size(),
               cache ? " (summary cache enabled)" : "",
-              corrupted ? " (corruption injected)" : "");
+              corrupted ? " (corruption injected)" : "",
+              isolate ? " (isolated workers)" : "");
 
   TextTable table({"Image", "Arch", "Packing", "Status", "Complete", "Fns",
-                   "Findings", "TP", "FP+twin", "Missed"});
-  size_t fleet_tp = 0, fleet_fn = 0, fleet_fp = 0;
-  size_t unextractable = 0, complete_images = 0;
+                   "Findings", "TP", "FP+twin", "Missed", "Att"});
+  FleetTotals totals;
   std::vector<ImageResult> images;
   std::vector<Incident> incidents;
   bool aborted = false;
@@ -355,27 +423,33 @@ int main(int argc, char** argv) {
                                : 0);
   heartbeat.images_total().store(corpus.size(), std::memory_order_relaxed);
 
-  for (const CorpusItem& item : corpus) {
+  // The per-image scan body: the unit of work both the in-process loop
+  // and the supervisor's workers run. Emits image_begin/image_end
+  // events itself (inside the worker, in isolated mode); everything
+  // the fleet report needs comes back in the ScanOutcome, with JSON
+  // fragments pre-serialized so the journal can replay them
+  // byte-identically.
+  auto scan_image = [&](size_t idx, const AnalysisBudget& image_budget,
+                        bool consult_crash) -> ScanOutcome {
+    const CorpusItem& item = corpus[idx];
     std::string label = item.spec.vendor + " " + item.spec.product;
-    ImageResult im;
-    im.label = label;
-    im.vendor = item.spec.vendor;
-    im.product = item.spec.product;
-    im.arch = std::string(ArchName(item.spec.program.arch));
-    im.packing = std::string(PackingName(item.spec.packing));
+    ScanOutcome out;
     obs::Stopwatch image_watch;
     if (events.enabled()) {
       events.Emit(obs::Event("image_begin")
                       .Str("image", label)
-                      .Str("vendor", im.vendor)
-                      .Str("product", im.product)
-                      .Str("arch", im.arch)
-                      .Str("packing", im.packing));
+                      .Str("vendor", item.spec.vendor)
+                      .Str("product", item.spec.product)
+                      .Str("arch", ArchName(item.spec.program.arch))
+                      .Str("packing", PackingName(item.spec.packing)));
     }
     // Kill-mid-scan oracle hook: a "crash" fault here dies hard with
     // the image_begin on disk and no image_end — exactly the torn
-    // stream scan_report must triage (tests/events_test.cpp).
-    if (FaultPlan::Global().ShouldFail(FaultSite::kCrash, label)) {
+    // stream scan_report must triage (tests/events_test.cpp). Under
+    // the supervisor the parent consults this site instead, before
+    // the first dispatch.
+    if (consult_crash &&
+        FaultPlan::Global().ShouldFail(FaultSite::kCrash, label)) {
       std::abort();
     }
 
@@ -388,30 +462,21 @@ int main(int argc, char** argv) {
       inc.detail = detail;
       inc.status = status;
       if (events.enabled()) EmitIncident(events, inc);
-      incidents.push_back(inc);
+      out.incidents.push_back(inc);
       DTAINT_LOG(obs::LogLevel::kWarn, "corpus", "%s",
-                 incidents.back().ToString().c_str());
+                 out.incidents.back().ToString().c_str());
     };
-    auto finish_image = [&](ImageResult& result) {
+    auto finish_image = [&]() {
       if (events.enabled()) {
         events.Emit(
             obs::Event("image_end")
-                .Str("image", result.label)
-                .Str("status", result.status)
-                .Bool("complete", result.complete)
-                .Num("functions", static_cast<uint64_t>(result.functions))
-                .Num("findings",
-                     static_cast<uint64_t>(result.finding_count))
+                .Str("image", label)
+                .Str("status", out.status)
+                .Bool("complete", out.complete)
+                .Num("functions", out.functions)
+                .Num("findings", out.findings)
                 .Double("duration_ms", image_watch.Seconds() * 1e3));
       }
-      heartbeat.images_done().fetch_add(1, std::memory_order_relaxed);
-      images.push_back(std::move(result));
-    };
-    auto add_row = [&](const char* status_text) {
-      table.AddRow({im.label, im.arch, im.packing, status_text,
-                    im.status == "ok" ? (im.complete ? "yes" : "NO") : "-",
-                    im.status == "ok" ? std::to_string(im.functions) : "-",
-                    "-", "-", "-", "-"});
     };
 
     auto extracted = FirmwareExtractor::Extract(item.blob, label);
@@ -419,104 +484,199 @@ int main(int argc, char** argv) {
       // Vendor encryption / unknown compression is the corpus's
       // expected attrition (Unsupported); anything else is an incident.
       if (extracted.status().code() == StatusCode::kUnsupported) {
-        ++unextractable;
-        im.status = "unextractable";
-        add_row("unextractable");
+        out.status = "unextractable";
+        out.row = "unextractable";
       } else {
-        im.status = "failed";
+        out.status = "failed";
+        out.row = "FAILED: extract";
         record_incident("extract", label, extracted.status());
-        add_row("FAILED: extract");
-        if (fail_fast) {
-          finish_image(im);
-          aborted = true;
-          break;
-        }
       }
-      finish_image(im);
-      continue;
+      finish_image();
+      return out;
     }
     const FirmwareFile* file =
         extracted->image.FindFile(item.spec.binary_path);
     if (!file) {
-      im.status = "failed";
+      out.status = "failed";
+      out.row = "FAILED: no binary";
       record_incident("load", item.spec.binary_path,
                       NotFound(label + ": no " + item.spec.binary_path +
                                " in extracted image"));
-      add_row("FAILED: no binary");
-      finish_image(im);
-      if (fail_fast) {
-        aborted = true;
-        break;
-      }
-      continue;
+      finish_image();
+      return out;
     }
     auto binary =
         BinaryLoader::Load(file->bytes, label + item.spec.binary_path);
     if (!binary.ok()) {
-      im.status = "failed";
+      out.status = "failed";
+      out.row = "FAILED: load";
       record_incident("load", item.spec.binary_path, binary.status());
-      add_row("FAILED: load");
-      finish_image(im);
-      if (fail_fast) {
-        aborted = true;
-        break;
-      }
-      continue;
+      finish_image();
+      return out;
     }
     DTaintConfig config;
     if (cache) config.interproc.cache = &*cache;
     config.interproc.num_threads = num_threads;
-    config.interproc.budget = budget;
+    config.interproc.budget = image_budget;
     config.interproc.alias_mode = alias_mode;
     DTaint detector(config);
     auto report = detector.Analyze(*binary);
     if (!report.ok()) {
-      im.status = "failed";
+      out.status = "failed";
+      out.row = "FAILED: analyze";
       record_incident("analyze", binary->soname, report.status());
-      add_row("FAILED: analyze");
-      finish_image(im);
-      if (fail_fast) {
-        aborted = true;
-        break;
-      }
-      continue;
+      finish_image();
+      return out;
     }
     // Per-function incidents (lift failures, budget exhaustions) come
     // back inside the report; relabel them with the fleet label so the
     // fleet log is unambiguous across images that share a soname.
     for (Incident inc : report->incidents) {
       inc.binary = label;
-      incidents.push_back(std::move(inc));
+      out.incidents.push_back(std::move(inc));
     }
-    im.status = "ok";
-    im.complete = report->complete;
-    im.functions = report->analyzed_functions;
-    im.finding_count = report->findings.size();
-    im.findings_json = FindingsToJson(report->findings);
-    DetectionScore score =
-        ScoreFindings(report->findings, item.ground_truth);
-    im.score = score;
-    if (report->complete) {
-      // Only complete images count toward the exit code: an image that
-      // hit its budget legitimately under-reports, which is triage
-      // work ("raise the budget"), not a detection bug.
-      ++complete_images;
-      fleet_tp += score.true_positives;
-      fleet_fn += score.false_negatives;
-      fleet_fp += score.false_positives + score.safe_twin_hits;
+    out.status = "ok";
+    out.row = "ok";
+    out.complete = report->complete;
+    out.functions = report->analyzed_functions;
+    out.findings = report->findings.size();
+    out.findings_json = FindingsToJson(report->findings);
+    DetectionScore score = ScoreFindings(report->findings, item.ground_truth);
+    out.has_score = true;
+    out.score_json = ScoreToJson(score);
+    out.tp = score.true_positives;
+    out.fn = score.false_negatives;
+    out.fp = score.false_positives + score.safe_twin_hits;
+    finish_image();
+    return out;
+  };
+
+  // Folds one terminal task result into the fleet report. Always
+  // called in corpus order, whatever order the supervisor finished in
+  // — the report (and its byte-identity across resumes) never depends
+  // on scheduling.
+  auto fold_result = [&](size_t idx, const TaskResult& result) {
+    const CorpusItem& item = corpus[idx];
+    ImageResult im;
+    im.label = item.spec.vendor + " " + item.spec.product;
+    im.vendor = item.spec.vendor;
+    im.product = item.spec.product;
+    im.arch = std::string(ArchName(item.spec.program.arch));
+    im.packing = std::string(PackingName(item.spec.packing));
+    im.attempts = result.attempts;
+    totals.retries += result.attempts > 0 ? result.attempts - 1 : 0;
+    totals.worker_restarts += result.worker_restarts;
+
+    if (result.state == TaskResult::State::kQuarantined) {
+      im.status = "quarantined";
+      ++totals.quarantined;
+      table.AddRow({im.label, im.arch, im.packing, "QUARANTINED", "-", "-",
+                    "-", "-", "-", "-", std::to_string(im.attempts)});
+    } else {
+      const ScanOutcome& out = result.outcome;
+      im.status = out.status;
+      im.complete = out.complete;
+      im.functions = out.functions;
+      im.finding_count = out.findings;
+      im.findings_json = out.findings_json;
+      im.has_score = out.has_score;
+      im.score_json = out.score_json;
+      if (out.status == "unextractable") ++totals.unextractable;
+      if (out.status == "ok") {
+        if (out.complete) {
+          // Only complete images count toward the exit code: an image
+          // that hit its budget legitimately under-reports, which is
+          // triage work ("raise the budget"), not a detection bug.
+          ++totals.complete_images;
+          totals.tp += out.tp;
+          totals.fn += out.fn;
+          totals.fp += out.fp;
+        }
+        table.AddRow({im.label, im.arch, im.packing, "ok",
+                      out.complete ? "yes" : "NO",
+                      std::to_string(out.functions),
+                      std::to_string(out.findings), std::to_string(out.tp),
+                      std::to_string(out.fp), std::to_string(out.fn),
+                      std::to_string(im.attempts)});
+      } else {
+        table.AddRow({im.label, im.arch, im.packing, out.row, "-", "-", "-",
+                      "-", "-", "-", std::to_string(im.attempts)});
+      }
+      for (const Incident& inc : result.outcome.incidents) {
+        incidents.push_back(inc);
+        DTAINT_LOG(obs::LogLevel::kDebug, "corpus", "incident: %s",
+                   inc.ToString().c_str());
+      }
     }
-    table.AddRow({im.label, std::string(ArchName(binary->arch)),
-                  im.packing, "ok", report->complete ? "yes" : "NO",
-                  std::to_string(report->analyzed_functions),
-                  std::to_string(report->findings.size()),
-                  std::to_string(score.true_positives),
-                  std::to_string(score.false_positives +
-                                 score.safe_twin_hits),
-                  std::to_string(score.false_negatives)});
-    finish_image(im);
-    if (fail_fast && !report->complete) {
-      aborted = true;
-      break;
+    // Supervisor-level incidents (worker deaths, the quarantine
+    // verdict) follow the analysis incidents of the same image.
+    for (const Incident& inc : result.incidents) {
+      incidents.push_back(inc);
+    }
+    images.push_back(std::move(im));
+  };
+
+  bool use_supervisor = isolate || journal_dir != nullptr;
+  if (use_supervisor) {
+    SupervisorConfig sup_config;
+    sup_config.workers = workers;
+    sup_config.max_retries = max_retries;
+    sup_config.image_timeout_ms =
+        image_timeout_ms > 0 ? static_cast<uint32_t>(image_timeout_ms) : 0;
+    sup_config.mem_limit_mb =
+        mem_limit_mb > 0 ? static_cast<uint32_t>(mem_limit_mb) : 0;
+    sup_config.budget = budget;
+    sup_config.journal_dir = journal_dir ? journal_dir : "";
+    sup_config.resume = resume;
+    sup_config.stop_on_failure = fail_fast;
+    sup_config.force_in_process = !isolate;
+    ScanSupervisor supervisor(sup_config);
+
+    std::vector<TaskSpec> tasks;
+    tasks.reserve(corpus.size());
+    for (const CorpusItem& item : corpus) {
+      TaskSpec task;
+      task.label = item.spec.vendor + " " + item.spec.product;
+      task.fingerprint = Fingerprint128()
+                             .Mix(std::span<const uint8_t>(item.blob))
+                             .Digest()
+                             .ToHex();
+      tasks.push_back(std::move(task));
+    }
+    std::vector<TaskResult> results = supervisor.Run(
+        tasks, [&](size_t idx, const AnalysisBudget& image_budget) {
+          return scan_image(idx, image_budget, /*consult_crash=*/false);
+        });
+    for (size_t i = 0; i < results.size(); ++i) {
+      const TaskResult& result = results[i];
+      if (result.state == TaskResult::State::kSkipped) {
+        // Mirrors the in-process --fail-fast break: images the stop
+        // cut off never appear in the report, but any incidents their
+        // earlier attempts produced do.
+        aborted = true;
+        for (const Incident& inc : result.incidents) {
+          incidents.push_back(inc);
+        }
+        continue;
+      }
+      fold_result(i, result);
+      heartbeat.images_done().fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    for (size_t idx = 0; idx < corpus.size(); ++idx) {
+      TaskResult result;
+      result.state = TaskResult::State::kDone;
+      result.attempts = 1;
+      result.in_process = true;
+      result.outcome = scan_image(idx, budget, /*consult_crash=*/true);
+      fold_result(idx, result);
+      heartbeat.images_done().fetch_add(1, std::memory_order_relaxed);
+      const ScanOutcome& out = result.outcome;
+      if (fail_fast && (out.status == "failed" ||
+                        (out.status == "ok" && !out.complete))) {
+        aborted = true;
+        break;
+      }
     }
   }
   heartbeat.Stop();
@@ -524,9 +684,9 @@ int main(int argc, char** argv) {
     events.Emit(obs::Event("corpus_end")
                     .Num("images", static_cast<uint64_t>(corpus.size()))
                     .Num("complete",
-                         static_cast<uint64_t>(complete_images))
+                         static_cast<uint64_t>(totals.complete_images))
                     .Num("unextractable",
-                         static_cast<uint64_t>(unextractable))
+                         static_cast<uint64_t>(totals.unextractable))
                     .Num("incidents",
                          static_cast<uint64_t>(incidents.size()))
                     .Bool("aborted", aborted));
@@ -536,22 +696,28 @@ int main(int argc, char** argv) {
               "FP=%zu; %zu image(s) resisted extraction (vendor "
               "encryption), as in the paper's corpus study; %zu "
               "incident(s)\n",
-              complete_images, fleet_tp, fleet_fn, fleet_fp, unextractable,
-              incidents.size());
+              totals.complete_images, totals.tp, totals.fn, totals.fp,
+              totals.unextractable, incidents.size());
+  if (totals.quarantined || totals.retries) {
+    std::printf("supervisor: %zu image(s) quarantined, %zu retry(ies), "
+                "%zu worker restart(s)\n",
+                totals.quarantined, totals.retries, totals.worker_restarts);
+  }
   for (const Incident& inc : incidents) {
     std::printf("  incident: %s\n", inc.ToString().c_str());
   }
 
   // Detection quality is scored over complete images only; incidents
   // are reported, not fatal (the whole point of the resilience layer).
-  // --fail-fast flips that contract for CI gating.
-  int rc = (fleet_fn == 0 && fleet_fp == 0) ? 0 : 1;
+  // --fail-fast flips that contract for CI gating. Quarantined images
+  // never fail the run by themselves — like budget-degraded images,
+  // they are triage work, and their ground truth is excluded from the
+  // score the same way an unextractable image's is.
+  int rc = (totals.fn == 0 && totals.fp == 0) ? 0 : 1;
   if (fail_fast && (aborted || !incidents.empty())) rc = 1;
   if (json_out) {
     std::ofstream out(json_out, std::ios::trunc);
-    out << FleetToJson(images, incidents, fleet_tp, fleet_fn, fleet_fp,
-                       unextractable, complete_images)
-        << '\n';
+    out << FleetToJson(images, incidents, totals) << '\n';
     if (!out.good()) {
       DTAINT_LOG(obs::LogLevel::kError, "corpus",
                  "cannot write fleet report to %s", json_out);

@@ -123,6 +123,14 @@ class FlightRecorder {
   /// Total lines recorded since Arm (tests).
   uint64_t recorded() const { return seq_.load(std::memory_order_relaxed); }
 
+  /// Acquires the recorder's lock for the duration of a fork(2). The
+  /// scan supervisor holds it (with the other singleton locks) across
+  /// fork so a child never inherits a mutex mid-Record from another
+  /// thread — which would deadlock the child's first event emission.
+  std::unique_lock<std::mutex> LockForFork() {
+    return std::unique_lock<std::mutex>(mu_);
+  }
+
   FlightRecorder(const FlightRecorder&) = delete;
   FlightRecorder& operator=(const FlightRecorder&) = delete;
 
@@ -187,6 +195,11 @@ class EventStream {
 
   /// Milliseconds since Open (what ts_ms carries).
   double NowRelMillis() const;
+
+  /// See FlightRecorder::LockForFork.
+  std::unique_lock<std::mutex> LockForFork() {
+    return std::unique_lock<std::mutex>(mu_);
+  }
 
  private:
   void WriteLine(std::string_view line);

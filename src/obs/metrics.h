@@ -168,6 +168,14 @@ class MetricsRegistry {
   MetricsSnapshot Snapshot() const;
   std::string ToJson() const { return MetricsSnapshotToJson(Snapshot()); }
 
+  /// Acquires the registry's map lock for the duration of a fork(2),
+  /// so a forked scan worker never inherits it mid-counter-creation
+  /// from another thread (instrument *mutation* is lock-free and safe
+  /// regardless). See FlightRecorder::LockForFork.
+  std::unique_lock<std::mutex> LockForFork() {
+    return std::unique_lock<std::mutex>(mu_);
+  }
+
   /// Zeroes every registered instrument (handles stay valid). The
   /// scoped-reset alternative to snapshot/delta isolation: bench reps
   /// that want pristine counters call this between reps instead of

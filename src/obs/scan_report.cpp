@@ -65,6 +65,36 @@ void FoldEvent(const JsonValue& event, std::string_view type,
     im.product = FieldStr(event, "product");
     im.arch = FieldStr(event, "arch");
     im.packing = FieldStr(event, "packing");
+    ++im.begin_events;
+    im.attempts = std::max(im.attempts, im.begin_events);
+  } else if (type == "image_retry") {
+    // Supervisor re-dispatch: raise the attempt count to next_attempt
+    // (covers attempts whose worker died before image_begin flushed).
+    ImageRollup& im = ImageFor(agg, FieldStr(event, "image"));
+    im.attempts = std::max(
+        im.attempts, static_cast<uint64_t>(FieldNum(event, "next_attempt")));
+    ++agg->image_retries;
+  } else if (type == "worker_exit") {
+    ImageRollup& im = ImageFor(agg, FieldStr(event, "image"));
+    im.attempts = std::max(im.attempts,
+                           static_cast<uint64_t>(FieldNum(event, "attempt")));
+    ++agg->worker_exits;
+  } else if (type == "image_quarantined") {
+    ImageRollup& im = ImageFor(agg, FieldStr(event, "image"));
+    im.status = "quarantined";
+    im.attempts = std::max(im.attempts,
+                           static_cast<uint64_t>(FieldNum(event, "attempts")));
+    ++agg->quarantined_images;
+  } else if (type == "image_resumed") {
+    // Journal replay satisfied this image: no scan events will follow
+    // in this stream, so the lifecycle event *is* the row.
+    ImageRollup& im = ImageFor(agg, FieldStr(event, "image"));
+    std::string_view status = FieldStr(event, "status");
+    if (!status.empty()) im.status = std::string(status);
+    im.attempts = std::max(im.attempts,
+                           static_cast<uint64_t>(FieldNum(event, "attempts")));
+    im.resumed = true;
+    ++agg->resumed_images;
   } else if (type == "image_end") {
     ImageRollup& im = ImageFor(agg, FieldStr(event, "image"));
     im.status = FieldStr(event, "status");
@@ -195,6 +225,18 @@ std::string AggregateToMarkdown(const ScanAggregate& agg) {
       static_cast<unsigned long long>(agg.incidents),
       static_cast<unsigned long long>(agg.degraded_functions));
   out += buf;
+  if (agg.image_retries || agg.quarantined_images || agg.worker_exits ||
+      agg.resumed_images) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "- supervisor: %llu retried, %llu quarantined, %llu worker "
+        "exit(s), %llu resumed\n",
+        static_cast<unsigned long long>(agg.image_retries),
+        static_cast<unsigned long long>(agg.quarantined_images),
+        static_cast<unsigned long long>(agg.worker_exits),
+        static_cast<unsigned long long>(agg.resumed_images));
+    out += buf;
+  }
   if (agg.heartbeats) {
     std::snprintf(
         buf, sizeof(buf),
@@ -210,15 +252,19 @@ std::string AggregateToMarkdown(const ScanAggregate& agg) {
   if (!agg.images.empty()) {
     out += "\n## Images\n\n"
            "| Image | Arch | Packing | Status | Complete | Fns | Findings "
-           "| ms |\n"
-           "|---|---|---|---|---|---:|---:|---:|\n";
+           "| Attempts | ms |\n"
+           "|---|---|---|---|---|---:|---:|---:|---:|\n";
     for (const ImageRollup& im : agg.images) {
       std::snprintf(buf, sizeof(buf),
-                    "| %s | %s | %s | %s | %s | %llu | %llu | %.1f |\n",
+                    "| %s | %s | %s | %s%s | %s | %llu | %llu | %llu | %.1f "
+                    "|\n",
                     im.image.c_str(), im.arch.c_str(), im.packing.c_str(),
-                    im.status.c_str(), im.complete ? "yes" : "no",
+                    im.status.c_str(), im.resumed ? " (resumed)" : "",
+                    im.complete ? "yes" : "no",
                     static_cast<unsigned long long>(im.functions),
                     static_cast<unsigned long long>(im.findings),
+                    static_cast<unsigned long long>(
+                        im.attempts ? im.attempts : 1),
                     im.duration_ms);
       out += buf;
     }
@@ -293,6 +339,14 @@ std::string AggregateToJson(const ScanAggregate& agg) {
   b.Number(agg.incidents);
   b.Key("degraded_functions");
   b.Number(agg.degraded_functions);
+  b.Key("image_retries");
+  b.Number(agg.image_retries);
+  b.Key("quarantined_images");
+  b.Number(agg.quarantined_images);
+  b.Key("worker_exits");
+  b.Number(agg.worker_exits);
+  b.Key("resumed_images");
+  b.Number(agg.resumed_images);
   b.Key("heartbeats");
   b.Number(agg.heartbeats);
   if (agg.heartbeats) {
@@ -331,6 +385,10 @@ std::string AggregateToJson(const ScanAggregate& agg) {
     b.Number(im.functions);
     b.Key("findings");
     b.Number(im.findings);
+    b.Key("attempts");
+    b.Number(im.attempts ? im.attempts : 1);
+    b.Key("resumed");
+    b.Bool(im.resumed);
     b.Key("duration_ms");
     b.Number(im.duration_ms);
     b.EndObject();

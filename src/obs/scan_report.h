@@ -36,12 +36,28 @@ struct ImageRollup {
   std::string arch;
   std::string packing;
   /// image_end status ("ok" / "unextractable" / "failed"), or
-  /// "in_flight" while only image_begin has been seen.
+  /// "in_flight" while only image_begin has been seen, or
+  /// "quarantined" once the supervisor gave up on the image.
   std::string status = "in_flight";
   bool complete = false;
   uint64_t functions = 0;
   uint64_t findings = 0;
   double duration_ms = 0.0;
+  /// Scan attempts for this image. Streams from the same image merge
+  /// into this one logical row (ImageFor keys on the image name), so a
+  /// crashed worker's stream plus its retry's stream still report one
+  /// row with attempts=2. Counted from image_begin events and raised
+  /// to any attempt count carried by supervisor lifecycle events
+  /// (image_retry / image_quarantined / image_resumed), which also
+  /// cover attempts killed before their first event flushed.
+  uint64_t attempts = 0;
+  /// image_begin events folded so far (internal feed for `attempts`;
+  /// kept separate so lifecycle events that carry an absolute attempt
+  /// count never double-count with the begins).
+  uint64_t begin_events = 0;
+  /// Satisfied from the resume journal (image_resumed event) rather
+  /// than rescanned in the stream(s) being aggregated.
+  bool resumed = false;
 };
 
 struct PhaseRollup {
@@ -82,6 +98,12 @@ struct ScanAggregate {
   uint64_t incidents = 0;
   uint64_t degraded_functions = 0;  // function_end with degraded:true
   uint64_t heartbeats = 0;
+  /// Supervisor lifecycle tallies (src/resilience/supervisor.h events;
+  /// all zero for in-process scans, which never emit them).
+  uint64_t image_retries = 0;     // image_retry events
+  uint64_t quarantined_images = 0;  // image_quarantined events
+  uint64_t worker_exits = 0;      // worker_exit events (failed attempts)
+  uint64_t resumed_images = 0;    // image_resumed events
   /// Gauges of the most recent heartbeat across all streams.
   uint64_t last_images_done = 0;
   uint64_t last_images_total = 0;

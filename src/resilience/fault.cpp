@@ -35,6 +35,9 @@ constexpr SiteName kSiteNames[] = {
     {FaultSite::kExtract, "extract"},
     {FaultSite::kLoad, "load"},
     {FaultSite::kCrash, "crash"},
+    {FaultSite::kWorkerKill, "worker_kill"},
+    {FaultSite::kWorkerHang, "worker_hang"},
+    {FaultSite::kJournalTorn, "journal_torn"},
 };
 
 }  // namespace

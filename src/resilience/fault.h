@@ -14,7 +14,8 @@
 //   site[@match][:count][+skip]
 //
 //   site   lift | summary | pathfind | cache_read | cache_write |
-//          extract | load | crash
+//          extract | load | crash | worker_kill | worker_hang |
+//          journal_torn
 //   match  substring the site's detail string must contain (function
 //          name, binary name, file path); empty matches everything
 //   count  how many matching occurrences fail (default 1, '*' = all)
@@ -53,9 +54,22 @@ enum class FaultSite : uint8_t {
   kExtract,     // firmware unpacking
   kLoad,        // binary image parsing
   kCrash,       // hard process death mid-scan (corpus_scan consults it
-                // right after image_begin; the kill-mid-scan oracle in
-                // tests/events_test.cpp proves the event stream and
-                // flight recorder survive)
+                // right after image_begin in-process, and the scan
+                // supervisor consults it in the parent before each
+                // first dispatch; the kill-mid-scan oracles in
+                // tests/events_test.cpp and tests/supervisor_test.cpp
+                // prove the event stream, flight recorder, and resume
+                // journal survive)
+  kWorkerKill,  // isolated scan worker SIGKILLs itself at task start —
+                // the synthetic poison image the supervisor must
+                // retry and eventually quarantine
+  kWorkerHang,  // isolated scan worker spins forever at task start —
+                // exercises the per-image wall-clock watchdog
+  kJournalTorn, // journal append writes only a prefix of the record
+                // and no newline — the torn-write the replay path
+                // must skip (that record, and possibly the next line
+                // it glues onto, is lost; the journal is at-least-once
+                // and the image is simply re-scanned)
 };
 
 /// "lift", "summary", "pathfind", "cache_read", ...
@@ -90,6 +104,12 @@ class FaultPlan {
 
   /// Total faults fired since process start (monotonic).
   uint64_t injected() const { return injected_.load(std::memory_order_relaxed); }
+
+  /// Acquires the rule lock for the duration of a fork(2), so a forked
+  /// scan worker never inherits it mid-ShouldFail from another thread.
+  std::unique_lock<std::mutex> LockForFork() {
+    return std::unique_lock<std::mutex>(mu_);
+  }
 
   FaultPlan(const FaultPlan&) = delete;
   FaultPlan& operator=(const FaultPlan&) = delete;

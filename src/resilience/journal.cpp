@@ -1,0 +1,336 @@
+#include "src/resilience/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "src/resilience/fault.h"
+#include "src/util/json.h"
+#include "src/util/json_writer.h"
+#include "src/util/strings.h"
+
+namespace dtaint {
+
+namespace {
+
+bool ParseStatusCode(std::string_view name, StatusCode* out) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    StatusCode code = static_cast<StatusCode>(c);
+    if (StatusCodeName(code) == name) {
+      *out = code;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseBudgetExhaustion(std::string_view name, BudgetExhaustion* out) {
+  for (int c = 0; c <= static_cast<int>(BudgetExhaustion::kInjected); ++c) {
+    BudgetExhaustion cause = static_cast<BudgetExhaustion>(c);
+    if (BudgetExhaustionName(cause) == name) {
+      *out = cause;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FieldString(const JsonValue& object, std::string_view key) {
+  const JsonValue* v = object.Find(key);
+  if (!v || !v->is_string()) return {};
+  return v->string();
+}
+
+uint64_t FieldU64(const JsonValue& object, std::string_view key) {
+  const JsonValue* v = object.Find(key);
+  if (!v || !v->is_number()) return 0;
+  double d = v->number();
+  return d <= 0 ? 0 : static_cast<uint64_t>(d);
+}
+
+double FieldDouble(const JsonValue& object, std::string_view key) {
+  const JsonValue* v = object.Find(key);
+  return v && v->is_number() ? v->number() : 0.0;
+}
+
+bool FieldBool(const JsonValue& object, std::string_view key) {
+  const JsonValue* v = object.Find(key);
+  return v && v->is_bool() && v->boolean();
+}
+
+Status AppendIncidents(const JsonValue& parent, std::string_view key,
+                       std::vector<Incident>* out) {
+  const JsonValue* list = parent.Find(key);
+  if (!list) return Status::Ok();
+  if (!list->is_array()) return CorruptData("incidents: not an array");
+  for (const JsonValue& entry : list->array()) {
+    auto incident = IncidentFromJson(entry);
+    if (!incident.ok()) return incident.status();
+    out->push_back(std::move(*incident));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+// ---- ScanOutcome codec ----------------------------------------------------
+
+std::string ScanOutcomeToJson(const ScanOutcome& outcome) {
+  std::string out = "{";
+  out += "\"status\":\"" + JsonEscape(outcome.status) + "\",";
+  out += "\"row\":\"" + JsonEscape(outcome.row) + "\",";
+  out += std::string("\"complete\":") + (outcome.complete ? "true" : "false");
+  out += ",\"functions\":" + std::to_string(outcome.functions);
+  out += ",\"findings\":" + std::to_string(outcome.findings);
+  // Raw report fragments travel as escaped *strings*, not as embedded
+  // JSON: unescape(escape(x)) == x for any byte string, which is what
+  // makes a journal replay reproduce the fleet report byte-for-byte.
+  // Re-serializing a parsed tree would not make that guarantee.
+  out += ",\"findings_json\":\"" + JsonEscape(outcome.findings_json) + "\"";
+  if (outcome.has_score) {
+    out += ",\"score_json\":\"" + JsonEscape(outcome.score_json) + "\"";
+  }
+  out += ",\"tp\":" + std::to_string(outcome.tp);
+  out += ",\"fn\":" + std::to_string(outcome.fn);
+  out += ",\"fp\":" + std::to_string(outcome.fp);
+  out += ",\"incidents\":" + IncidentsToJson(outcome.incidents);
+  out += "}";
+  return out;
+}
+
+Result<ScanOutcome> ScanOutcomeFromJson(const JsonValue& value) {
+  if (!value.is_object()) return CorruptData("outcome: not an object");
+  ScanOutcome outcome;
+  outcome.status = FieldString(value, "status");
+  if (outcome.status.empty()) return CorruptData("outcome: missing status");
+  outcome.row = FieldString(value, "row");
+  outcome.complete = FieldBool(value, "complete");
+  outcome.functions = FieldU64(value, "functions");
+  outcome.findings = FieldU64(value, "findings");
+  const JsonValue* findings = value.Find("findings_json");
+  if (!findings || !findings->is_string()) {
+    return CorruptData("outcome: missing findings_json");
+  }
+  outcome.findings_json = findings->string();
+  if (const JsonValue* score = value.Find("score_json");
+      score && score->is_string()) {
+    outcome.has_score = true;
+    outcome.score_json = score->string();
+  }
+  outcome.tp = FieldU64(value, "tp");
+  outcome.fn = FieldU64(value, "fn");
+  outcome.fp = FieldU64(value, "fp");
+  Status status = AppendIncidents(value, "incidents", &outcome.incidents);
+  if (!status.ok()) return status;
+  return outcome;
+}
+
+Result<ScanOutcome> ScanOutcomeFromJson(std::string_view json) {
+  auto parsed = ParseJson(json);
+  if (!parsed.ok()) return parsed.status();
+  return ScanOutcomeFromJson(*parsed);
+}
+
+Result<Incident> IncidentFromJson(const JsonValue& value) {
+  if (!value.is_object()) return CorruptData("incident: not an object");
+  Incident incident;
+  incident.binary = FieldString(value, "binary");
+  incident.phase = FieldString(value, "phase");
+  incident.detail = FieldString(value, "detail");
+  StatusCode code = StatusCode::kInternal;
+  if (!ParseStatusCode(FieldString(value, "code"), &code)) {
+    return CorruptData("incident: bad status code");
+  }
+  incident.status = Status(code, FieldString(value, "message"));
+  if (const JsonValue* budget = value.Find("budget");
+      budget && budget->is_object()) {
+    incident.budget.steps = FieldU64(*budget, "steps");
+    incident.budget.states = FieldU64(*budget, "states");
+    incident.budget.elapsed_ms = FieldDouble(*budget, "elapsed_ms");
+    incident.budget.expr_nodes = FieldU64(*budget, "expr_nodes");
+    if (!ParseBudgetExhaustion(FieldString(*budget, "exhausted_by"),
+                               &incident.budget.exhausted_by)) {
+      return CorruptData("incident: bad exhausted_by");
+    }
+  }
+  return incident;
+}
+
+// ---- JournalRecord codec --------------------------------------------------
+
+std::string JournalRecordToLine(const JournalRecord& record) {
+  std::string out = "{\"v\":" + std::to_string(kJournalSchemaVersion);
+  out += ",\"type\":\"" + JsonEscape(record.type) + "\"";
+  out += ",\"image\":\"" + JsonEscape(record.image) + "\"";
+  out += ",\"fp\":\"" + JsonEscape(record.fingerprint) + "\"";
+  if (record.type != "image_begin") {
+    out += ",\"attempts\":" + std::to_string(record.attempts);
+    out += ",\"worker_restarts\":" + std::to_string(record.worker_restarts);
+    if (!record.reason.empty()) {
+      out += ",\"reason\":\"" + JsonEscape(record.reason) + "\"";
+    }
+    out += ",\"incidents\":" + IncidentsToJson(record.incidents);
+    if (record.outcome) {
+      out += ",\"outcome\":" + ScanOutcomeToJson(*record.outcome);
+    }
+  }
+  out += "}";
+  return out;
+}
+
+Result<JournalRecord> JournalRecordFromLine(std::string_view line) {
+  auto parsed = ParseJson(line);
+  if (!parsed.ok()) return parsed.status();
+  if (!parsed->is_object()) return CorruptData("journal: not an object");
+  const JsonValue* version = parsed->Find("v");
+  if (!version || !version->is_number() ||
+      static_cast<int>(version->number()) != kJournalSchemaVersion) {
+    return CorruptData("journal: bad schema version");
+  }
+  JournalRecord record;
+  record.type = FieldString(*parsed, "type");
+  if (record.type != "image_begin" && record.type != "image_done" &&
+      record.type != "image_quarantined") {
+    return CorruptData("journal: unknown record type");
+  }
+  record.image = FieldString(*parsed, "image");
+  record.fingerprint = FieldString(*parsed, "fp");
+  if (record.fingerprint.empty()) {
+    return CorruptData("journal: missing fingerprint");
+  }
+  record.attempts = static_cast<uint32_t>(FieldU64(*parsed, "attempts"));
+  record.worker_restarts =
+      static_cast<uint32_t>(FieldU64(*parsed, "worker_restarts"));
+  record.reason = FieldString(*parsed, "reason");
+  Status status = AppendIncidents(*parsed, "incidents", &record.incidents);
+  if (!status.ok()) return status;
+  if (const JsonValue* outcome = parsed->Find("outcome")) {
+    auto decoded = ScanOutcomeFromJson(*outcome);
+    if (!decoded.ok()) return decoded.status();
+    record.outcome = std::move(*decoded);
+  }
+  if (record.type == "image_done" && !record.outcome) {
+    return CorruptData("journal: image_done without outcome");
+  }
+  return record;
+}
+
+// ---- ScanJournal ----------------------------------------------------------
+
+ScanJournal::~ScanJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ScanJournal::ScanJournal(ScanJournal&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+ScanJournal& ScanJournal::operator=(ScanJournal&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+std::string ScanJournal::PathFor(const std::string& dir) {
+  return (std::filesystem::path(dir) / "journal.ndjson").string();
+}
+
+Result<ScanJournal> ScanJournal::Open(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Internal("journal: cannot create " + dir + ": " + ec.message());
+  }
+  ScanJournal journal;
+  journal.path_ = PathFor(dir);
+  journal.fd_ = ::open(journal.path_.c_str(),
+                       O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (journal.fd_ < 0) {
+    return Internal("journal: cannot open " + journal.path_ + ": " +
+                    std::strerror(errno));
+  }
+  return journal;
+}
+
+Status ScanJournal::Append(const JournalRecord& record) {
+  if (fd_ < 0) return Internal("journal: not open");
+  std::string line = JournalRecordToLine(record);
+  if (FaultPlan::Global().ShouldFail(FaultSite::kJournalTorn,
+                                     record.type + ":" + record.image)) {
+    // Deterministic torn write: half the record, no newline — what a
+    // machine crash mid-write leaves. The process carries on (unlike a
+    // real crash) so tests can observe the replay skipping it.
+    line.resize(line.size() / 2);
+  } else {
+    line += '\n';
+  }
+  size_t off = 0;
+  while (off < line.size()) {
+    ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Internal(std::string("journal: write failed: ") +
+                      std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<JournalReplay> ScanJournal::Replay(const std::string& dir) {
+  JournalReplay replay;
+  std::string path = PathFor(dir);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return replay;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Internal("journal: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+
+  std::map<std::string, std::string, std::less<>> begun;  // fp -> image
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line(text.data() + pos,
+                          (eol == std::string::npos ? text.size() : eol) -
+                              pos);
+    pos = eol == std::string::npos ? text.size() : eol + 1;
+    if (line.empty()) continue;
+    auto record = JournalRecordFromLine(line);
+    if (!record.ok()) {
+      ++replay.garbage_lines;
+      continue;
+    }
+    ++replay.records;
+    if (record->type == "image_begin") {
+      begun.emplace(record->fingerprint, record->image);
+    } else if (record->type == "image_done") {
+      begun.erase(record->fingerprint);
+      replay.done[record->fingerprint] = std::move(*record);
+    } else {  // image_quarantined
+      begun.erase(record->fingerprint);
+      replay.quarantined[record->fingerprint] = std::move(*record);
+    }
+  }
+  for (auto& [fp, image] : begun) {
+    // Begun, never resolved: the image the dead run was scanning.
+    if (!replay.done.count(fp) && !replay.quarantined.count(fp)) {
+      replay.in_flight.push_back(image);
+    }
+  }
+  return replay;
+}
+
+}  // namespace dtaint

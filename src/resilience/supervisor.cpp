@@ -1,0 +1,683 @@
+#include "src/resilience/supervisor.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <exception>
+#include <new>
+#include <thread>
+#include <utility>
+
+#include "src/obs/events.h"
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/resilience/fault.h"
+#include "src/resilience/retry.h"
+#include "src/util/hash.h"
+
+namespace dtaint {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr char kWireMagic[4] = {'D', 'T', 'S', 'W'};
+
+uint32_t ReadU32Le(const char* p) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24;
+}
+
+void PutU32Le(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+}  // namespace
+
+std::string_view WorkerFailureName(WorkerFailure failure) {
+  switch (failure) {
+    case WorkerFailure::kTimeout:
+      return "timeout";
+    case WorkerFailure::kSignal:
+      return "signal";
+    case WorkerFailure::kOom:
+      return "oom";
+    case WorkerFailure::kExit:
+      return "exit";
+    case WorkerFailure::kWire:
+      return "wire";
+  }
+  return "unknown";
+}
+
+AnalysisBudget TightenBudget(const AnalysisBudget& base, int attempt) {
+  if (attempt <= 1) return base;
+  // Degraded ceilings for the first retry; every further retry halves
+  // them again. Generous enough that an ordinary firmware image still
+  // completes (degraded summaries are sound), tight enough that an
+  // image which only crashes when allowed to run long dies cheap.
+  constexpr double kDeadlineMs = 5'000;
+  constexpr uint64_t kMaxSteps = 2'000'000;
+  constexpr uint64_t kMaxStates = 65'536;
+  constexpr uint64_t kMaxExprNodes = 8'000'000;
+  int shift = std::min(attempt - 2, 16);
+  auto cap = [shift](uint64_t base_limit, uint64_t degraded) {
+    degraded >>= shift;
+    if (degraded == 0) degraded = 1;
+    return base_limit == 0 ? degraded : std::min(base_limit, degraded);
+  };
+  AnalysisBudget out = base;
+  double deadline = kDeadlineMs / static_cast<double>(1 << shift);
+  out.deadline_ms =
+      base.deadline_ms <= 0 ? deadline : std::min(base.deadline_ms, deadline);
+  out.max_steps = cap(base.max_steps, kMaxSteps);
+  out.max_states = cap(base.max_states, kMaxStates);
+  out.max_expr_nodes = cap(base.max_expr_nodes, kMaxExprNodes);
+  return out;
+}
+
+std::string EncodeWireResult(const ScanOutcome& outcome) {
+  std::string payload = ScanOutcomeToJson(outcome);
+  std::string frame;
+  frame.reserve(12 + payload.size());
+  frame.append(kWireMagic, sizeof(kWireMagic));
+  PutU32Le(&frame, kWireVersion);
+  PutU32Le(&frame, static_cast<uint32_t>(payload.size()));
+  frame += payload;
+  return frame;
+}
+
+Result<ScanOutcome> DecodeWireResult(std::string_view frame) {
+  if (frame.size() < 12) return CorruptData("wire: short frame");
+  if (std::memcmp(frame.data(), kWireMagic, sizeof(kWireMagic)) != 0) {
+    return CorruptData("wire: bad magic");
+  }
+  if (ReadU32Le(frame.data() + 4) != kWireVersion) {
+    return CorruptData("wire: version skew");
+  }
+  uint32_t payload_len = ReadU32Le(frame.data() + 8);
+  // Exact length: a short read is a child that died mid-write, trailing
+  // bytes are a framing bug — both are failures, never a guess.
+  if (frame.size() != 12 + static_cast<size_t>(payload_len)) {
+    return CorruptData("wire: truncated frame");
+  }
+  return ScanOutcomeFromJson(frame.substr(12));
+}
+
+// ---- ScanSupervisor -------------------------------------------------------
+
+/// One live forked worker.
+struct ScanSupervisor::Active {
+  pid_t pid = -1;
+  int fd = -1;  // read end of the result pipe (non-blocking)
+  size_t index = 0;
+  Clock::time_point deadline;
+  bool has_deadline = false;
+  bool timed_out = false;
+  std::string buf;  // accumulated wire frame
+};
+
+ScanSupervisor::ScanSupervisor(SupervisorConfig config)
+    : config_(std::move(config)) {
+  if (config_.workers < 1) config_.workers = 1;
+  if (config_.max_retries < 0) config_.max_retries = 0;
+}
+
+bool ScanSupervisor::SpawnWorker(const TaskSpec& task, size_t index,
+                                 int attempt, const TaskFn& fn, Active* slot) {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    DTAINT_LOG(obs::LogLevel::kWarn, "supervisor",
+               "pipe failed (%s); running %s in-process",
+               std::strerror(errno), task.label.c_str());
+    return false;
+  }
+  pid_t pid = -1;
+  {
+    // Hold every singleton lock the child might need across the fork:
+    // the heartbeat thread emits events concurrently, and a child
+    // forked while another thread holds one of these mutexes would
+    // deadlock on its first emission (the lock owner doesn't exist in
+    // the child). The locks are only ever taken one-at-a-time by their
+    // owners (never nested), so acquiring all of them here cannot
+    // deadlock either.
+    auto stream_lock = obs::EventStream::Global().LockForFork();
+    auto metrics_lock = obs::MetricsRegistry::Global().LockForFork();
+    auto recorder_lock = obs::FlightRecorder::Global().LockForFork();
+    auto fault_lock = FaultPlan::Global().LockForFork();
+    pid = ::fork();
+    if (pid == 0) {
+      // This thread did the forking, so the child's copy of each mutex
+      // is owned by the (only surviving) thread — unlocking is legal.
+      fault_lock.unlock();
+      recorder_lock.unlock();
+      metrics_lock.unlock();
+      stream_lock.unlock();
+      ::close(fds[0]);
+      RunChild(task, index, attempt, fn, fds[1]);
+    }
+  }
+  if (pid < 0) {
+    DTAINT_LOG(obs::LogLevel::kWarn, "supervisor",
+               "fork failed (%s); running %s in-process",
+               std::strerror(errno), task.label.c_str());
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return false;
+  }
+  ::close(fds[1]);
+  int flags = ::fcntl(fds[0], F_GETFL, 0);
+  ::fcntl(fds[0], F_SETFL, flags | O_NONBLOCK);
+  slot->pid = pid;
+  slot->fd = fds[0];
+  slot->index = index;
+  slot->has_deadline = config_.image_timeout_ms > 0;
+  if (slot->has_deadline) {
+    slot->deadline =
+        Clock::now() + std::chrono::milliseconds(config_.image_timeout_ms);
+  }
+  slot->timed_out = false;
+  slot->buf.clear();
+  return true;
+}
+
+void ScanSupervisor::RunChild(const TaskSpec& task, size_t index, int attempt,
+                              const TaskFn& fn, int pipe_fd) {
+  // Resource limits first: they bound everything that follows,
+  // including the fault sites and the scan itself.
+  if (config_.mem_limit_mb > 0) {
+    struct rlimit lim;
+    lim.rlim_cur = lim.rlim_max =
+        static_cast<rlim_t>(config_.mem_limit_mb) << 20;
+    ::setrlimit(RLIMIT_AS, &lim);
+  }
+  uint32_t cpu_s = config_.cpu_limit_s;
+  if (cpu_s == 0 && config_.image_timeout_ms > 0) {
+    // CPU backstop behind the wall-clock watchdog: a worker that pegs
+    // a core past the deadline dies even if the parent is wedged.
+    cpu_s = config_.image_timeout_ms / 1000 + 2;
+  }
+  if (cpu_s > 0) {
+    struct rlimit lim;
+    lim.rlim_cur = cpu_s;
+    lim.rlim_max = cpu_s + 1;
+    ::setrlimit(RLIMIT_CPU, &lim);
+  }
+  // The synthetic poison images. Note each child starts from a fresh
+  // copy of the parent's FaultPlan occurrence counters, so a
+  // worker_kill rule fires in *every* forked attempt regardless of its
+  // count — exactly what a deterministically-crashing image does.
+  if (FaultPlan::Global().ShouldFail(FaultSite::kWorkerKill, task.label)) {
+    ::raise(SIGKILL);
+  }
+  if (FaultPlan::Global().ShouldFail(FaultSite::kWorkerHang, task.label)) {
+    for (;;) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  std::string frame;
+  try {
+    frame = EncodeWireResult(fn(index, TightenBudget(config_.budget, attempt)));
+  } catch (const std::bad_alloc&) {
+    ::_exit(kWorkerExitOom);
+  } catch (...) {
+    ::_exit(kWorkerExitError);
+  }
+  size_t off = 0;
+  while (off < frame.size()) {
+    ssize_t n = ::write(pipe_fd, frame.data() + off, frame.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::_exit(kWorkerExitError);
+    }
+    off += static_cast<size_t>(n);
+  }
+  // _exit, never exit: the child shares the parent's event-stream fd
+  // and singletons; running atexit handlers or destructors here would
+  // close/flush state the parent still owns.
+  ::_exit(0);
+}
+
+bool ScanSupervisor::RunInProcess(const TaskSpec& task, size_t index,
+                                  int attempt, const TaskFn& fn,
+                                  ScanOutcome* outcome, WorkerFailure* failure,
+                                  std::string* detail) {
+  // The worker fault sites still apply, as synthetic failures instead
+  // of real deaths — so the retry/quarantine state machine is testable
+  // deterministically without fork. (In-process, the plan's occurrence
+  // counters are shared across attempts, so `worker_kill@img` with the
+  // default count of 1 fails once and lets the retry succeed.)
+  FaultPlan& plan = FaultPlan::Global();
+  if (plan.ShouldFail(FaultSite::kWorkerKill, task.label)) {
+    *failure = WorkerFailure::kSignal;
+    *detail = "injected worker_kill";
+    return false;
+  }
+  if (plan.ShouldFail(FaultSite::kWorkerHang, task.label)) {
+    *failure = WorkerFailure::kTimeout;
+    *detail = "injected worker_hang";
+    return false;
+  }
+  try {
+    *outcome = fn(index, TightenBudget(config_.budget, attempt));
+    return true;
+  } catch (const std::bad_alloc&) {
+    *failure = WorkerFailure::kOom;
+    *detail = "allocation failed";
+  } catch (const std::exception& e) {
+    *failure = WorkerFailure::kExit;
+    *detail = e.what();
+  } catch (...) {
+    *failure = WorkerFailure::kExit;
+    *detail = "unknown exception";
+  }
+  return false;
+}
+
+std::vector<TaskResult> ScanSupervisor::Run(const std::vector<TaskSpec>& tasks,
+                                            const TaskFn& fn) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::EventStream& stream = obs::EventStream::Global();
+  stats_ = SupervisorStats{};
+  stats_.tasks = tasks.size();
+  metrics.counter("supervisor.tasks").Add(tasks.size());
+
+  std::vector<TaskResult> results(tasks.size());
+
+  JournalReplay replay;
+  if (!config_.journal_dir.empty()) {
+    if (config_.resume) {
+      auto replayed = ScanJournal::Replay(config_.journal_dir);
+      if (replayed.ok()) {
+        replay = std::move(*replayed);
+      } else {
+        DTAINT_LOG(obs::LogLevel::kWarn, "supervisor",
+                   "journal replay failed, running from scratch: %s",
+                   replayed.status().ToString().c_str());
+      }
+      stats_.journal_records_replayed = replay.records;
+      stats_.journal_garbage_lines = replay.garbage_lines;
+      metrics.counter("supervisor.journal_garbage_lines")
+          .Add(replay.garbage_lines);
+      if (stream.enabled()) {
+        obs::Event event("journal_replay");
+        event.Num("records", static_cast<uint64_t>(replay.records))
+            .Num("garbage_lines", static_cast<uint64_t>(replay.garbage_lines))
+            .Num("done", static_cast<uint64_t>(replay.done.size()))
+            .Num("quarantined",
+                 static_cast<uint64_t>(replay.quarantined.size()))
+            .Num("in_flight", static_cast<uint64_t>(replay.in_flight.size()));
+        stream.Emit(event);
+      }
+    }
+    auto journal = ScanJournal::Open(config_.journal_dir);
+    if (journal.ok()) {
+      journal_ = std::move(*journal);
+    } else {
+      DTAINT_LOG(obs::LogLevel::kError, "supervisor",
+                 "continuing without a journal: %s",
+                 journal.status().ToString().c_str());
+    }
+  }
+
+  struct TaskState {
+    int attempt = 0;  // attempts used so far
+    std::vector<int> backoff_plan;
+    std::vector<Incident> incidents;
+  };
+  std::vector<TaskState> states(tasks.size());
+
+  struct Pending {
+    size_t index;
+    Clock::time_point not_before;
+  };
+  std::deque<Pending> pending;
+  bool stopped = false;
+
+  auto emit_resumed = [&](const TaskSpec& task, const TaskResult& result,
+                          std::string_view status) {
+    ++stats_.resumed;
+    metrics.counter("supervisor.resumed").Add();
+    if (stream.enabled()) {
+      obs::Event event("image_resumed");
+      event.Str("image", task.label)
+          .Str("status", status)
+          .Num("attempts", static_cast<uint64_t>(result.attempts));
+      stream.Emit(event);
+    }
+  };
+
+  Clock::time_point start = Clock::now();
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const TaskSpec& task = tasks[i];
+    if (auto it = replay.done.find(task.fingerprint); it != replay.done.end()) {
+      TaskResult& result = results[i];
+      result.state = TaskResult::State::kDone;
+      result.outcome = *it->second.outcome;
+      result.attempts = it->second.attempts;
+      result.worker_restarts = it->second.worker_restarts;
+      result.incidents = it->second.incidents;
+      result.resumed = true;
+      emit_resumed(task, result, result.outcome.status);
+      continue;
+    }
+    if (auto it = replay.quarantined.find(task.fingerprint);
+        it != replay.quarantined.end()) {
+      TaskResult& result = results[i];
+      result.state = TaskResult::State::kQuarantined;
+      result.attempts = it->second.attempts;
+      result.worker_restarts = it->second.worker_restarts;
+      result.incidents = it->second.incidents;
+      result.quarantine_reason = it->second.reason;
+      result.resumed = true;
+      emit_resumed(task, result, "quarantined");
+      continue;
+    }
+    pending.push_back({i, start});
+  }
+
+  auto journal_append = [&](const JournalRecord& record) {
+    if (!journal_.open()) return;
+    Status status = journal_.Append(record);
+    if (!status.ok()) {
+      DTAINT_LOG(obs::LogLevel::kWarn, "supervisor", "journal append: %s",
+                 status.ToString().c_str());
+    }
+  };
+
+  auto handle_success = [&](size_t index, ScanOutcome outcome) {
+    const TaskSpec& task = tasks[index];
+    TaskState& st = states[index];
+    TaskResult& result = results[index];
+    result.state = TaskResult::State::kDone;
+    result.outcome = std::move(outcome);
+    result.attempts = static_cast<uint32_t>(st.attempt);
+    result.worker_restarts = static_cast<uint32_t>(st.attempt - 1);
+    result.incidents = st.incidents;
+    JournalRecord record;
+    record.type = "image_done";
+    record.image = task.label;
+    record.fingerprint = task.fingerprint;
+    record.attempts = result.attempts;
+    record.worker_restarts = result.worker_restarts;
+    record.incidents = result.incidents;
+    record.outcome = result.outcome;
+    journal_append(record);
+  };
+
+  auto handle_failure = [&](size_t index, WorkerFailure failure,
+                            const std::string& detail) {
+    const TaskSpec& task = tasks[index];
+    TaskState& st = states[index];
+    ++stats_.worker_failures;
+    metrics.counter("supervisor.worker_failures").Add();
+
+    Incident incident;
+    incident.binary = task.label;
+    incident.phase = "supervisor";
+    incident.detail = "attempt " + std::to_string(st.attempt);
+    std::string message = "worker " + std::string(WorkerFailureName(failure));
+    if (!detail.empty()) message += ": " + detail;
+    incident.status = Internal(message);
+    st.incidents.push_back(incident);
+    EmitIncident(stream, incident);
+    if (stream.enabled()) {
+      obs::Event event("worker_exit");
+      event.Str("image", task.label)
+          .Num("attempt", st.attempt)
+          .Str("failure", WorkerFailureName(failure))
+          .Str("detail", detail);
+      stream.Emit(event);
+    }
+
+    if (st.attempt <= config_.max_retries) {
+      int backoff_us =
+          static_cast<size_t>(st.attempt) <= st.backoff_plan.size()
+              ? st.backoff_plan[static_cast<size_t>(st.attempt - 1)]
+              : 0;
+      ++stats_.retries;
+      metrics.counter("supervisor.retries").Add();
+      if (stream.enabled()) {
+        obs::Event event("image_retry");
+        event.Str("image", task.label)
+            .Num("next_attempt", st.attempt + 1)
+            .Str("failure", WorkerFailureName(failure))
+            .Num("backoff_us", static_cast<uint64_t>(backoff_us));
+        stream.Emit(event);
+      }
+      pending.push_back(
+          {index, Clock::now() + std::chrono::microseconds(backoff_us)});
+      return;
+    }
+
+    // Quarantine: out of attempts. The terminal incident names the
+    // final failure mode so the fleet report explains the hole.
+    TaskResult& result = results[index];
+    std::string reason = "worker " + std::string(WorkerFailureName(failure)) +
+                         " after " + std::to_string(st.attempt) + " attempts";
+    Incident verdict;
+    verdict.binary = task.label;
+    verdict.phase = "supervisor";
+    verdict.detail = "quarantine";
+    verdict.status = Internal(reason);
+    st.incidents.push_back(verdict);
+    EmitIncident(stream, verdict);
+
+    result.state = TaskResult::State::kQuarantined;
+    result.attempts = static_cast<uint32_t>(st.attempt);
+    result.worker_restarts = static_cast<uint32_t>(st.attempt);
+    result.incidents = st.incidents;
+    result.quarantine_reason = reason;
+    ++stats_.quarantined;
+    metrics.counter("supervisor.quarantined").Add();
+    if (stream.enabled()) {
+      obs::Event event("image_quarantined");
+      event.Str("image", task.label)
+          .Num("attempts", static_cast<uint64_t>(result.attempts))
+          .Str("reason", reason);
+      stream.Emit(event);
+    }
+    JournalRecord record;
+    record.type = "image_quarantined";
+    record.image = task.label;
+    record.fingerprint = task.fingerprint;
+    record.attempts = result.attempts;
+    record.worker_restarts = result.worker_restarts;
+    record.reason = reason;
+    record.incidents = result.incidents;
+    journal_append(record);
+    if (config_.stop_on_failure) stopped = true;
+  };
+
+  std::vector<Active> active;
+
+  auto dispatch = [&](size_t index) {
+    const TaskSpec& task = tasks[index];
+    TaskState& st = states[index];
+    ++st.attempt;
+    if (st.attempt == 1) {
+      RetryPolicy policy;
+      policy.attempts = 1 + config_.max_retries;
+      policy.initial_backoff_us = config_.backoff_initial_us;
+      policy.max_total_backoff_us = config_.backoff_total_cap_us;
+      policy.jitter_seed = Fnv1a(task.fingerprint);
+      st.backoff_plan = RetryScheduleUs(policy);
+      JournalRecord record;
+      record.type = "image_begin";
+      record.image = task.label;
+      record.fingerprint = task.fingerprint;
+      journal_append(record);
+      // The kill-mid-scan oracle: hard supervisor death right after
+      // the begin record is durable — resume must re-run this image.
+      if (FaultPlan::Global().ShouldFail(FaultSite::kCrash, task.label)) {
+        std::abort();
+      }
+    }
+    if (!config_.force_in_process) {
+      Active slot;
+      if (SpawnWorker(task, index, st.attempt, fn, &slot)) {
+        ++stats_.workers_spawned;
+        metrics.counter("supervisor.workers_spawned").Add();
+        active.push_back(std::move(slot));
+        return;
+      }
+      ++stats_.in_process_fallbacks;
+      metrics.counter("supervisor.in_process_fallbacks").Add();
+    }
+    ScanOutcome outcome;
+    WorkerFailure failure = WorkerFailure::kExit;
+    std::string detail;
+    results[index].in_process = true;
+    if (RunInProcess(task, index, st.attempt, fn, &outcome, &failure,
+                     &detail)) {
+      handle_success(index, std::move(outcome));
+    } else {
+      handle_failure(index, failure, detail);
+    }
+  };
+
+  auto reap = [&](Active& slot, int status) {
+    if (slot.timed_out) {
+      handle_failure(slot.index, WorkerFailure::kTimeout,
+                     "exceeded " + std::to_string(config_.image_timeout_ms) +
+                         "ms watchdog");
+      return;
+    }
+    if (WIFSIGNALED(status)) {
+      handle_failure(slot.index, WorkerFailure::kSignal,
+                     "signal " + std::to_string(WTERMSIG(status)));
+      return;
+    }
+    int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    if (code == kWorkerExitOom) {
+      handle_failure(slot.index, WorkerFailure::kOom,
+                     "allocation failed under mem limit");
+      return;
+    }
+    if (code != 0) {
+      handle_failure(slot.index, WorkerFailure::kExit,
+                     "exit code " + std::to_string(code));
+      return;
+    }
+    auto outcome = DecodeWireResult(slot.buf);
+    if (!outcome.ok()) {
+      handle_failure(slot.index, WorkerFailure::kWire,
+                     outcome.status().message());
+      return;
+    }
+    handle_success(slot.index, std::move(*outcome));
+  };
+
+  while (!pending.empty() || !active.empty()) {
+    Clock::time_point now = Clock::now();
+
+    if (stopped && !pending.empty()) {
+      for (const Pending& p : pending) {
+        TaskResult& result = results[p.index];
+        if (result.state == TaskResult::State::kSkipped) {
+          result.attempts = static_cast<uint32_t>(states[p.index].attempt);
+          result.incidents = states[p.index].incidents;
+        }
+      }
+      pending.clear();
+      continue;
+    }
+
+    // Fill free worker slots with whatever is eligible to run.
+    bool dispatched = true;
+    while (dispatched && !stopped &&
+           static_cast<int>(active.size()) < config_.workers) {
+      dispatched = false;
+      for (size_t k = 0; k < pending.size(); ++k) {
+        if (pending[k].not_before <= now) {
+          size_t index = pending[k].index;
+          pending.erase(pending.begin() + static_cast<ptrdiff_t>(k));
+          dispatch(index);  // may push a retry back onto `pending`
+          dispatched = true;
+          break;
+        }
+      }
+    }
+
+    if (active.empty()) {
+      if (pending.empty()) break;
+      // Everything eligible has run; sleep toward the earliest backoff.
+      Clock::time_point earliest = pending.front().not_before;
+      for (const Pending& p : pending) {
+        earliest = std::min(earliest, p.not_before);
+      }
+      if (earliest > now) {
+        std::this_thread::sleep_for(
+            std::min<Clock::duration>(earliest - now,
+                                      std::chrono::milliseconds(50)));
+      }
+      continue;
+    }
+
+    std::vector<struct pollfd> fds;
+    fds.reserve(active.size());
+    int timeout_ms = 200;
+    for (const Active& slot : active) {
+      fds.push_back({slot.fd, POLLIN, 0});
+      if (slot.has_deadline && !slot.timed_out) {
+        auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             slot.deadline - now)
+                             .count();
+        timeout_ms = std::max(
+            0, std::min<int>(timeout_ms, static_cast<int>(remaining)));
+      }
+    }
+    ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+    now = Clock::now();
+
+    bool reaped = false;
+    for (size_t k = 0; k < active.size() && !reaped; ++k) {
+      Active& slot = active[k];
+      if (fds[k].revents & (POLLIN | POLLHUP | POLLERR)) {
+        char buf[4096];
+        for (;;) {
+          ssize_t n = ::read(slot.fd, buf, sizeof(buf));
+          if (n > 0) {
+            slot.buf.append(buf, static_cast<size_t>(n));
+            continue;
+          }
+          if (n < 0 && errno == EINTR) continue;
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          // EOF (or a hard read error): the child is done writing.
+          ::close(slot.fd);
+          int status = 0;
+          while (::waitpid(slot.pid, &status, 0) < 0 && errno == EINTR) {
+          }
+          reap(slot, status);
+          active.erase(active.begin() + static_cast<ptrdiff_t>(k));
+          reaped = true;
+          break;
+        }
+      }
+    }
+    if (reaped) continue;
+
+    for (Active& slot : active) {
+      if (slot.has_deadline && !slot.timed_out && now >= slot.deadline) {
+        slot.timed_out = true;
+        ::kill(slot.pid, SIGKILL);  // EOF + reap happen on the next poll
+      }
+    }
+  }
+
+  return results;
+}
+
+}  // namespace dtaint

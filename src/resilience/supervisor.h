@@ -1,0 +1,200 @@
+// Crash-isolated scan supervisor — fork-per-image worker pool with
+// watchdogs, resource limits, retry/quarantine policy, and a resumable
+// checkpoint journal (src/resilience/journal.h).
+//
+// The in-process incident machinery (incident.h, budget.h) contains
+// *expected* failures: malformed binaries, exhausted budgets. It cannot
+// contain a worker that SIGSEGVs in the lifter, leaks until the OOM
+// killer fires, or spins forever in a pathological loop — one poison
+// image would take the whole fleet run down with it. The supervisor
+// closes that gap: each image is scanned in a forked child, the
+// ScanOutcome comes back over a pipe in a small versioned wire frame,
+// and the parent enforces a per-image wall-clock watchdog plus
+// RLIMIT_AS / RLIMIT_CPU in the child.
+//
+// Worker lifecycle state machine (per image):
+//
+//   PENDING --fork--> RUNNING --frame ok--------------------> DONE
+//                        |  `--timeout--> KILLED(SIGKILL) --.
+//                        `--signal/OOM/exit/bad frame-------+--> FAILED
+//   FAILED --attempts left--> PENDING (backoff, tightened budget)
+//   FAILED --attempts exhausted--> QUARANTINED
+//
+// Every failure becomes a typed Incident (phase "supervisor"); retries
+// back off with deterministic jitter (retry.h, seeded from the image
+// fingerprint) and re-run under a *tightened* AnalysisBudget
+// (TightenBudget: full -> degraded -> harshly degraded), so an image
+// that only dies when allowed to run long gets a cheap second chance.
+// After 1 + max_retries attempts the image is quarantined: recorded,
+// reported, and never allowed to poison the rest of the fleet.
+//
+// If fork or pipe creation itself fails (containers without
+// CAP_SYS_ADMIN analogues, fd exhaustion), the supervisor degrades to
+// running the task in-process — isolation is best-effort, the scan
+// itself is not.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/resilience/budget.h"
+#include "src/resilience/incident.h"
+#include "src/resilience/journal.h"
+#include "src/util/status.h"
+
+namespace dtaint {
+
+/// Wire format version for the worker->parent result frame.
+inline constexpr uint32_t kWireVersion = 1;
+
+/// Child exit codes with supervisor meaning. Chosen high to stay clear
+/// of the scan body's own exit codes and shell conventions.
+inline constexpr int kWorkerExitOom = 77;    // std::bad_alloc caught
+inline constexpr int kWorkerExitError = 76;  // other uncaught exception
+
+/// Why a worker attempt failed (drives the Incident message and the
+/// worker_exit event).
+enum class WorkerFailure : uint8_t {
+  kTimeout,  // watchdog deadline passed; parent SIGKILLed it
+  kSignal,   // died on a signal (SIGSEGV, SIGKILL from OOM killer, ...)
+  kOom,      // exited kWorkerExitOom: allocation failed under RLIMIT_AS
+  kExit,     // nonzero exit for any other reason
+  kWire,     // exited 0 but the result frame didn't decode
+};
+
+/// "timeout", "signal", "oom", "exit", "wire".
+std::string_view WorkerFailureName(WorkerFailure failure);
+
+/// Budget for attempt `attempt` (1-based). Attempt 1 runs the base
+/// budget untouched; each later attempt caps every limit at a degraded
+/// constant halved again per extra attempt — a crashing image gets
+/// progressively cheaper chances, never more expensive ones. Limits
+/// the base leaves unlimited (0) become limited on retry.
+AnalysisBudget TightenBudget(const AnalysisBudget& base, int attempt);
+
+/// Encodes an outcome as one wire frame: magic, version, payload
+/// length, JSON payload (ScanOutcomeToJson). Length-prefixed so the
+/// parent can tell "complete frame" from "child died mid-write".
+std::string EncodeWireResult(const ScanOutcome& outcome);
+
+/// Strict inverse; any truncation, bad magic, or version skew fails.
+Result<ScanOutcome> DecodeWireResult(std::string_view frame);
+
+struct SupervisorConfig {
+  /// Concurrent worker processes.
+  int workers = 1;
+  /// Extra attempts after the first before quarantine (so an image is
+  /// tried at most 1 + max_retries times).
+  int max_retries = 2;
+  /// Per-image wall-clock watchdog; 0 = no deadline.
+  uint32_t image_timeout_ms = 0;
+  /// RLIMIT_AS for each worker; 0 = unlimited. (Meaningless under
+  /// ASan, which reserves terabytes of shadow address space.)
+  uint32_t mem_limit_mb = 0;
+  /// RLIMIT_CPU seconds; 0 = derive from image_timeout_ms (rounded up,
+  /// +1s slack) or leave unlimited when there is no deadline either.
+  uint32_t cpu_limit_s = 0;
+  /// Base analysis budget; retries run TightenBudget(budget, attempt).
+  AnalysisBudget budget;
+  /// Journal directory; empty = no journal (and resume impossible).
+  std::string journal_dir;
+  /// Replay the journal first and skip images already done/quarantined.
+  bool resume = false;
+  /// Stop dispatching new images after a quarantine (fail-fast fleets).
+  bool stop_on_failure = false;
+  /// Run every task in-process (no fork) — the A side of the bench A/B
+  /// and the deterministic-path half of the supervisor tests. Journal
+  /// and resume still work.
+  bool force_in_process = false;
+  /// Retry backoff shape (jitter seed comes from each image's
+  /// fingerprint, not from here).
+  int backoff_initial_us = 200;
+  int backoff_total_cap_us = 1'000'000;
+};
+
+/// One unit of supervised work.
+struct TaskSpec {
+  std::string label;        // fleet label, also the fault-site detail
+  std::string fingerprint;  // content identity for the journal
+};
+
+/// What happened to one task, attempts included.
+struct TaskResult {
+  enum class State : uint8_t {
+    kDone,         // outcome is valid (possibly replayed from journal)
+    kQuarantined,  // gave up after 1 + max_retries attempts
+    kSkipped,      // never dispatched (stop_on_failure tripped first)
+  };
+  State state = State::kSkipped;
+  ScanOutcome outcome;
+  uint32_t attempts = 0;
+  uint32_t worker_restarts = 0;  // failed attempts (== attempts-1 when done)
+  bool resumed = false;          // satisfied from the journal replay
+  bool in_process = false;       // ran without isolation (forced or fallback)
+  std::string quarantine_reason;
+  /// Supervisor-level incidents (one per failed attempt, plus the
+  /// quarantine verdict), distinct from outcome.incidents.
+  std::vector<Incident> incidents;
+};
+
+/// Run-level tallies, mirrored into metrics counters (supervisor.*).
+struct SupervisorStats {
+  uint64_t tasks = 0;
+  uint64_t workers_spawned = 0;
+  uint64_t worker_failures = 0;
+  uint64_t retries = 0;
+  uint64_t quarantined = 0;
+  uint64_t resumed = 0;
+  uint64_t in_process_fallbacks = 0;
+  uint64_t journal_records_replayed = 0;
+  uint64_t journal_garbage_lines = 0;
+};
+
+/// The task body: scan image `index` under `budget` and return its
+/// outcome. In isolated mode it runs inside the forked child; it must
+/// not assume it shares memory with the caller afterwards.
+using TaskFn = std::function<ScanOutcome(size_t index, const AnalysisBudget& budget)>;
+
+class ScanSupervisor {
+ public:
+  explicit ScanSupervisor(SupervisorConfig config);
+
+  /// Runs every task to a terminal state (done / quarantined /
+  /// skipped). Results are returned in task order regardless of
+  /// completion order. Emits supervisor lifecycle events
+  /// (image_resumed, image_retry, image_quarantined, worker_exit,
+  /// journal_replay) into the global event stream when it is open.
+  std::vector<TaskResult> Run(const std::vector<TaskSpec>& tasks,
+                              const TaskFn& fn);
+
+  const SupervisorStats& stats() const { return stats_; }
+
+ private:
+  struct Active;  // one live worker slot (supervisor.cpp)
+
+  /// Forks and runs task `index` (attempt `attempt`) in a child whose
+  /// frame arrives on `*out_fd`. False when fork/pipe failed and the
+  /// caller should fall back to in-process execution.
+  bool SpawnWorker(const TaskSpec& task, size_t index, int attempt,
+                   const TaskFn& fn, Active* slot);
+
+  /// The child side: rlimits, worker fault sites, run fn, write frame.
+  [[noreturn]] void RunChild(const TaskSpec& task, size_t index, int attempt,
+                             const TaskFn& fn, int pipe_fd);
+
+  /// In-process execution of one attempt (forced mode and fork
+  /// fallback). False on failure, with the failure kind and a detail
+  /// message filled in (worker fault sites become synthetic failures;
+  /// exceptions become kExit / kOom).
+  bool RunInProcess(const TaskSpec& task, size_t index, int attempt,
+                    const TaskFn& fn, ScanOutcome* outcome,
+                    WorkerFailure* failure, std::string* detail);
+
+  SupervisorConfig config_;
+  SupervisorStats stats_;
+  ScanJournal journal_;
+};
+
+}  // namespace dtaint

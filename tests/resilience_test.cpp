@@ -157,9 +157,10 @@ TEST_F(ResilienceTest, BadSpecsAreRejectedWithContext) {
 
 TEST_F(ResilienceTest, SiteNamesRoundTrip) {
   const FaultSite sites[] = {
-      FaultSite::kLift,      FaultSite::kSummary,    FaultSite::kPathfinder,
-      FaultSite::kCacheRead, FaultSite::kCacheWrite, FaultSite::kExtract,
-      FaultSite::kLoad};
+      FaultSite::kLift,       FaultSite::kSummary,    FaultSite::kPathfinder,
+      FaultSite::kCacheRead,  FaultSite::kCacheWrite, FaultSite::kExtract,
+      FaultSite::kLoad,       FaultSite::kCrash,      FaultSite::kWorkerKill,
+      FaultSite::kWorkerHang, FaultSite::kJournalTorn};
   for (FaultSite site : sites) {
     FaultSite parsed;
     ASSERT_TRUE(ParseFaultSite(FaultSiteName(site), &parsed));
@@ -195,6 +196,56 @@ TEST_F(ResilienceTest, RetryIoGivesUpAfterAttempts) {
   });
   EXPECT_FALSE(ok);
   EXPECT_EQ(calls, 4);
+}
+
+TEST_F(ResilienceTest, RetryScheduleIsDeterministicAndJitterBounded) {
+  RetryPolicy policy;
+  policy.attempts = 6;
+  policy.initial_backoff_us = 200;
+  policy.max_total_backoff_us = 0;  // uncapped: test the raw jitter shape
+  policy.jitter_seed = 0xfeedULL;
+
+  std::vector<int> plan = RetryScheduleUs(policy);
+  ASSERT_EQ(plan.size(), 5u);
+  // Same policy, same schedule — fault-injection runs replay exactly.
+  EXPECT_EQ(plan, RetryScheduleUs(policy));
+  // Every sleep stays in [base/2, base] for base = initial << (retry-1).
+  for (size_t i = 0; i < plan.size(); ++i) {
+    int64_t base = static_cast<int64_t>(policy.initial_backoff_us) << i;
+    EXPECT_GE(plan[i], base / 2) << "retry " << i + 1;
+    EXPECT_LE(plan[i], base) << "retry " << i + 1;
+  }
+}
+
+TEST_F(ResilienceTest, RetryScheduleSeedsDecorrelate) {
+  // Two workers hammering the same disk must not retry in lockstep:
+  // distinct jitter seeds (the supervisor derives them from the image
+  // fingerprint) must yield distinct schedules.
+  RetryPolicy a;
+  a.attempts = 8;
+  a.initial_backoff_us = 1000;
+  a.max_total_backoff_us = 0;
+  a.jitter_seed = 1;
+  RetryPolicy b = a;
+  b.jitter_seed = 2;
+  EXPECT_NE(RetryScheduleUs(a), RetryScheduleUs(b));
+}
+
+TEST_F(ResilienceTest, RetryScheduleHonorsTotalWallClockCap) {
+  RetryPolicy policy;
+  policy.attempts = 12;          // doubling would sleep for minutes
+  policy.initial_backoff_us = 1000;
+  policy.max_total_backoff_us = 5000;
+  std::vector<int> plan = RetryScheduleUs(policy);
+  ASSERT_EQ(plan.size(), 11u);
+  int64_t total = 0;
+  for (int sleep_us : plan) {
+    EXPECT_GE(sleep_us, 0);
+    total += sleep_us;
+  }
+  EXPECT_LE(total, 5000);
+  // Once the cap is spent, the remaining retries run back-to-back.
+  EXPECT_EQ(plan.back(), 0);
 }
 
 // ---------- budget exhaustion degrades, never aborts -------------------------
